@@ -1,0 +1,321 @@
+// Benchmarks regenerating the paper's evaluation artifacts.
+//
+// Each BenchmarkFigure*/BenchmarkTable* below drives the same harness
+// code as cmd/smtsweep, at a reduced per-run instruction budget so the
+// whole suite completes in minutes; the reported custom metrics are the
+// numbers the corresponding paper artifact plots. For publication-scale
+// budgets use:
+//
+//	go run ./cmd/smtreport -budget 1000000
+//
+// The remaining benchmarks measure the simulator's own hot paths
+// (cycles simulated per second, issue-queue operations, the synthetic
+// trace generator), which is what you tune when making the simulator
+// faster.
+package smtsim_test
+
+import (
+	"testing"
+
+	"smtsim"
+	"smtsim/internal/sweep"
+)
+
+// benchOpts is the reduced-budget harness configuration used by the
+// figure benchmarks.
+func benchOpts() sweep.Options {
+	return sweep.Options{Budget: 5_000, Seed: 1, IQSizes: []int{32, 64, 128}}
+}
+
+// reportRow publishes one table row as benchmark metrics named
+// metric/IQ=N.
+func reportRow(b *testing.B, t sweep.Table, row int, metric string) {
+	b.Helper()
+	for j, col := range t.Cols {
+		b.ReportMetric(t.Values[row][j], metric+"/"+col)
+	}
+}
+
+// BenchmarkTable1Machine exercises the full Table 1 machine end to end
+// and reports simulated cycles per second — the simulator's core speed
+// metric.
+func BenchmarkTable1Machine(b *testing.B) {
+	var cycles, instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"equake", "twolf", "gcc", "gzip"},
+			IQSize:          64,
+			Scheduler:       smtsim.TwoOpOOOD,
+			MaxInstructions: 10_000,
+			Seed:            uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+		instrs += int64(res.Committed)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTables2to4Mixes runs one representative mix from each of the
+// paper's three workload tables, validating that every encoded mix is
+// executable; the metric is aggregate IPC.
+func BenchmarkTables2to4Mixes(b *testing.B) {
+	var ipc float64
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for _, threads := range []int{2, 3, 4} {
+			lists, _, err := smtsim.Mixes(threads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := smtsim.Run(smtsim.Config{
+				Benchmarks:      lists[i%len(lists)],
+				IQSize:          64,
+				MaxInstructions: 5_000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ipc += res.IPC
+			n++
+		}
+	}
+	b.ReportMetric(ipc/float64(n), "mean-IPC")
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (2OP_BLOCK speedup over the
+// traditional scheduler for 2/3/4 threads across IQ sizes) at bench
+// budget and reports the 4-thread row.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.Figure1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRow(b, t, 2, "speedup4T")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (throughput-IPC speedups,
+// 2-threaded workloads) and reports the out-of-order-dispatch row.
+func BenchmarkFigure3(b *testing.B) {
+	benchFigureSpeedup(b, 2)
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (3-threaded workloads).
+func BenchmarkFigure5(b *testing.B) {
+	benchFigureSpeedup(b, 3)
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (4-threaded workloads).
+func BenchmarkFigure7(b *testing.B) {
+	benchFigureSpeedup(b, 4)
+}
+
+func benchFigureSpeedup(b *testing.B, threads int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.FigureSpeedup(threads, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRow(b, t, 2, "ooodSpeedup")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (fairness improvement,
+// 2-threaded workloads) and reports the out-of-order-dispatch row.
+func BenchmarkFigure4(b *testing.B) {
+	benchFigureFairness(b, 2)
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (3-threaded workloads).
+func BenchmarkFigure6(b *testing.B) {
+	benchFigureFairness(b, 3)
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (4-threaded workloads).
+func BenchmarkFigure8(b *testing.B) {
+	benchFigureFairness(b, 4)
+}
+
+func benchFigureFairness(b *testing.B, threads int) {
+	b.Helper()
+	o := benchOpts()
+	o.IQSizes = []int{64} // fairness needs alone-IPC reference runs; keep it lean
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.FigureFairness(threads, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRow(b, t, 2, "ooodFairness")
+	}
+}
+
+// BenchmarkStallStats regenerates the Section 3/5 dispatch-stall
+// statistic (paper: 43%/17%/7% of cycles for 2/3/4 threads under
+// 2OP_BLOCK at 64 entries; 0.2% under OOO dispatch for 2 threads).
+func BenchmarkStallStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.StallStats(64, sweep.Options{Budget: 5_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values[0][1], "stall2T%")
+		b.ReportMetric(t.Values[2][1], "stall4T%")
+	}
+}
+
+// BenchmarkResidency regenerates the Section 5 issue-queue residency
+// comparison (paper: 21 cycles traditional vs 15 under OOO dispatch,
+// 2 threads at 64 entries).
+func BenchmarkResidency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.ResidencyStats(2, 64, sweep.Options{Budget: 5_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values[0][0], "residencyTrad")
+		b.ReportMetric(t.Values[2][0], "residencyOOOD")
+	}
+}
+
+// BenchmarkHDIStats regenerates the Section 4 HDI observations (paper:
+// ~90% of instructions piled behind NDIs are HDIs; ~10% of HDIs depend
+// on the NDI they bypass).
+func BenchmarkHDIStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.HDIStats(64, sweep.Options{Budget: 5_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Values[0][0], "piledHDI%")
+		b.ReportMetric(t.Values[0][1], "hdiDepNDI%")
+	}
+}
+
+// BenchmarkFilterAblation regenerates the Section 4 idealized-filtering
+// ablation (paper: only ~1.2% IPC from perfect NDI-dependence
+// filtering).
+func BenchmarkFilterAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sweep.FilterAblation(64, sweep.Options{Budget: 5_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(t.Values[0][0]-1), "filterGain2T%")
+	}
+}
+
+// BenchmarkDispatchBufferAblation sweeps the per-thread renamed-
+// instruction buffer capacity — the window out-of-order dispatch scans
+// for hidden dispatchable instructions, and the design choice DESIGN.md
+// flags as the main free parameter of the OOOD mechanism. The metric is
+// the IPC at each capacity.
+func BenchmarkDispatchBufferAblation(b *testing.B) {
+	for _, cap := range []int{4, 8, 16, 32} {
+		b.Run(fmtCap(cap), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				res, err := smtsim.Run(smtsim.Config{
+					Benchmarks:        []string{"equake", "gzip"},
+					IQSize:            64,
+					Scheduler:         smtsim.TwoOpOOOD,
+					DispatchBufferCap: cap,
+					MaxInstructions:   10_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc += res.IPC
+			}
+			b.ReportMetric(ipc/float64(b.N), "IPC")
+		})
+	}
+}
+
+func fmtCap(c int) string {
+	return "buf" + string(rune('0'+c/10)) + string(rune('0'+c%10))
+}
+
+// BenchmarkFetchPolicyAblation compares the baseline ICOUNT fetch policy
+// with plain round-robin — the paper's related-work axis (Section 6).
+func BenchmarkFetchPolicyAblation(b *testing.B) {
+	for _, rr := range []bool{false, true} {
+		name := "icount"
+		if rr {
+			name = "round-robin"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				res, err := smtsim.Run(smtsim.Config{
+					Benchmarks:      []string{"equake", "twolf", "gcc", "gzip"},
+					IQSize:          64,
+					Scheduler:       smtsim.TwoOpOOOD,
+					RoundRobinFetch: rr,
+					MaxInstructions: 10_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc += res.IPC
+			}
+			b.ReportMetric(ipc/float64(b.N), "IPC")
+		})
+	}
+}
+
+// BenchmarkDeadlockMechanisms compares the paper's two forward-progress
+// mechanisms under out-of-order dispatch on a memory-bound mix with a
+// small queue (where the DAB actually engages).
+func BenchmarkDeadlockMechanisms(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		mech smtsim.DeadlockMechanism
+	}{
+		{"dab", smtsim.DeadlockDAB},
+		{"watchdog", smtsim.DeadlockWatchdog},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				res, err := smtsim.Run(smtsim.Config{
+					Benchmarks:      []string{"equake", "twolf", "art", "swim"},
+					IQSize:          32,
+					Scheduler:       smtsim.TwoOpOOOD,
+					Deadlock:        m.mech,
+					MaxInstructions: 10_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc += res.IPC
+			}
+			b.ReportMetric(ipc/float64(b.N), "IPC")
+		})
+	}
+}
+
+// BenchmarkSchedulerHotPath measures a single simulation per scheduler
+// design, isolating the relative simulation cost of the dispatch
+// policies themselves.
+func BenchmarkSchedulerHotPath(b *testing.B) {
+	for _, sched := range smtsim.Schedulers {
+		b.Run(sched.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := smtsim.Run(smtsim.Config{
+					Benchmarks:      []string{"equake", "gzip"},
+					IQSize:          64,
+					Scheduler:       sched,
+					MaxInstructions: 10_000,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

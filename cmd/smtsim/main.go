@@ -1,0 +1,105 @@
+// Command smtsim runs one SMT simulation and prints its statistics.
+//
+// Usage:
+//
+//	smtsim -bench equake,gzip -iq 64 -sched 2op-ooo-dispatch -n 200000
+//
+// The -sched flag accepts "traditional", "2op-block",
+// "2op-ooo-dispatch", or "2op-ooo-dispatch-filtered".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smtsim"
+)
+
+func main() {
+	var (
+		benchList = flag.String("bench", "equake,gzip", "comma-separated benchmark names, one per thread")
+		iqSize    = flag.Int("iq", 64, "issue queue size")
+		sched     = flag.String("sched", "traditional", "scheduler: traditional | 2op-block | 2op-ooo-dispatch | 2op-ooo-dispatch-filtered")
+		n         = flag.Uint64("n", 200_000, "stop after any thread commits this many instructions")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		deadlock  = flag.String("deadlock", "dab", "OOOD deadlock mechanism: dab | watchdog | none")
+		bufCap    = flag.Int("dispatch-buf", 0, "per-thread dispatch buffer capacity (0 = default)")
+		rrFetch   = flag.Bool("rr-fetch", false, "use round-robin fetch instead of ICOUNT")
+		gate      = flag.String("gate", "", "fetch gating: stall | flush | data-gate (default none)")
+		warmup    = flag.Uint64("warmup", 0, "warmup instructions before measurement")
+		part0     = flag.Int("iq0", 0, "zero-comparator IQ entries (with -iq1/-iq2 overrides -iq)")
+		part1     = flag.Int("iq1", 0, "one-comparator IQ entries")
+		part2     = flag.Int("iq2", 0, "two-comparator IQ entries")
+		listBench = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *listBench {
+		for _, name := range smtsim.BenchmarkNames() {
+			class, _ := smtsim.BenchmarkClass(name)
+			fmt.Printf("%-10s %s ILP\n", name, class)
+		}
+		return
+	}
+
+	scheduler, err := smtsim.ParseScheduler(*sched)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := smtsim.Config{
+		Benchmarks:         strings.Split(*benchList, ","),
+		IQSize:             *iqSize,
+		Scheduler:          scheduler,
+		MaxInstructions:    *n,
+		WarmupInstructions: *warmup,
+		Seed:               *seed,
+		DispatchBufferCap:  *bufCap,
+		RoundRobinFetch:    *rrFetch,
+		FetchGate:          *gate,
+		IQPartition:        [3]int{*part0, *part1, *part2},
+	}
+	switch *deadlock {
+	case "dab":
+		cfg.Deadlock = smtsim.DeadlockDAB
+	case "watchdog":
+		cfg.Deadlock = smtsim.DeadlockWatchdog
+	case "none":
+		cfg.Deadlock = smtsim.DeadlockNone
+	default:
+		fatal(fmt.Errorf("unknown deadlock mechanism %q", *deadlock))
+	}
+
+	res, err := smtsim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scheduler=%s iq=%d threads=%d\n", scheduler, *iqSize, len(cfg.Benchmarks))
+	fmt.Printf("cycles=%d committed=%d IPC=%.3f\n", res.Cycles, res.Committed, res.IPC)
+	for i, t := range res.Threads {
+		fmt.Printf("  T%d %-10s committed=%-9d IPC=%.3f mispredict=%.2f%%\n",
+			i, t.Benchmark, t.Committed, t.IPC, 100*t.MispredictRate)
+	}
+	fmt.Printf("dispatch stall-all (2OP condition) = %.1f%% strict, %.1f%% weak\n",
+		100*res.DispatchStallAllNDI, 100*res.DispatchStallNDIWeak)
+	fmt.Printf("IQ residency = %.1f cycles, occupancy = %.1f entries\n", res.IQResidency, res.IQOccupancy)
+	if res.HDIDispatched > 0 {
+		fmt.Printf("HDIs dispatched out-of-order = %d (%.1f%% NDI-dependent)\n",
+			res.HDIDispatched, 100*res.HDIDepOnNDIFrac)
+	}
+	if res.HDIPiledFrac > 0 {
+		fmt.Printf("instructions behind NDIs that are HDIs = %.1f%%\n", 100*res.HDIPiledFrac)
+	}
+	fmt.Printf("DAB captures = %d, watchdog flushes = %d, gate flushes = %d\n",
+		res.DABInserts, res.WatchdogFlushes, res.GateFlushes)
+	fmt.Printf("scheduler: %d comparators, %.1f energy/inst (rel), EDP %.2f\n",
+		res.Comparators, res.SchedulerEnergyPerInst, res.SchedulerEDP)
+	fmt.Printf("miss rates: L1D %.1f%%, L2 %.1f%%, L1I %.2f%%\n",
+		100*res.L1DMissRate, 100*res.L2MissRate, 100*res.L1IMissRate)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	os.Exit(1)
+}

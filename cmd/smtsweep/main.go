@@ -1,0 +1,94 @@
+// Command smtsweep regenerates one of the paper's figures or statistics.
+//
+// Usage:
+//
+//	smtsweep -fig fig3 -budget 200000
+//
+// Figure ids: fig1, fig3..fig8 (the evaluation figures), and the
+// statistics sweeps: stalls, residency, hdi, filter, classify.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smtsim"
+	"smtsim/internal/sweep"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "fig1", "figure id: fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | stalls | residency | hdi | filter | classify | zoo | gates | energy | permix | memlat")
+		budget   = flag.Uint64("budget", 200_000, "per-run instruction budget")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		iqSize   = flag.Int("iq", 64, "IQ size for the statistics sweeps")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		bars     = flag.Bool("bars", false, "render as ASCII bar chart")
+		csv      = flag.Bool("csv", false, "emit CSV for external plotting")
+	)
+	flag.Parse()
+
+	o := sweep.Options{Budget: *budget, Seed: *seed, Parallelism: *parallel}
+	if *verbose {
+		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	var (
+		t   sweep.Table
+		err error
+	)
+	switch *fig {
+	case "fig1":
+		t, err = sweep.Figure1(o)
+	case "fig2":
+		t = sweep.Figure2()
+	case "fig3":
+		t, err = sweep.FigureSpeedup(2, o)
+	case "fig4":
+		t, err = sweep.FigureFairness(2, o)
+	case "fig5":
+		t, err = sweep.FigureSpeedup(3, o)
+	case "fig6":
+		t, err = sweep.FigureFairness(3, o)
+	case "fig7":
+		t, err = sweep.FigureSpeedup(4, o)
+	case "fig8":
+		t, err = sweep.FigureFairness(4, o)
+	case "stalls":
+		t, err = sweep.StallStats(*iqSize, o)
+	case "residency":
+		t, err = sweep.ResidencyStats(2, *iqSize, o)
+	case "hdi":
+		t, err = sweep.HDIStats(*iqSize, o)
+	case "filter":
+		t, err = sweep.FilterAblation(*iqSize, o)
+	case "classify":
+		t, err = sweep.ClassifyBenchmarks(o)
+	case "zoo":
+		t, err = sweep.SchedulerZoo(*iqSize, o)
+	case "gates":
+		t, err = sweep.FetchGates(*iqSize, o)
+	case "energy":
+		t, err = sweep.EnergyComparison(4, *iqSize, o)
+	case "permix":
+		t, err = sweep.PerMixSpeedup(4, *iqSize, smtsim.TwoOpOOOD, o)
+	case "memlat":
+		t, err = sweep.MemoryLatencySweep(2, *iqSize, nil, o)
+	default:
+		err = fmt.Errorf("unknown figure id %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtsweep:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *csv:
+		fmt.Print(t.CSV())
+	case *bars:
+		fmt.Print(t.RenderBars())
+	default:
+		fmt.Print(t.Render())
+	}
+}

@@ -1,0 +1,135 @@
+// Command smttrace records, inspects, and replays instruction traces in
+// the repository's binary trace format.
+//
+// Record a synthetic benchmark's trace:
+//
+//	smttrace record -bench gcc -n 1000000 -o gcc.smttrc
+//
+// Inspect a trace:
+//
+//	smttrace info gcc.smttrc
+//
+// Simulate from trace files (one per hardware thread):
+//
+//	smttrace run -iq 64 -sched 2op-ooo-dispatch gcc.smttrc gzip.smttrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smtsim"
+	"smtsim/internal/isa"
+	"smtsim/internal/tracefile"
+	"smtsim/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "run":
+		runTraces(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: smttrace record|info|run [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smttrace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "gcc", "benchmark to record (see smtsim -list)")
+	n := fs.Uint64("n", 1_000_000, "number of instructions")
+	out := fs.String("o", "", "output path (default <bench>.smttrc)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	fs.Parse(args)
+
+	path := *out
+	if path == "" {
+		path = *bench + ".smttrc"
+	}
+	prog, err := workload.CompileBenchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tracefile.Record(prog.NewStream(*seed), *n, path); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s (%.2f bytes/inst)\n",
+		*n, *bench, path, float64(st.Size())/float64(*n))
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("info: no trace files given"))
+	}
+	for _, path := range fs.Args() {
+		tr, err := tracefile.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		s := tr.Analyze()
+		fmt.Printf("%s: %d instructions, %d static PCs, %.1f KB data footprint\n",
+			path, s.Count, s.UniquePCs, float64(s.Footprint)/1024)
+		for c := isa.OpClass(0); c < isa.NumOpClasses; c++ {
+			if s.ClassMix[c] == 0 {
+				continue
+			}
+			fmt.Printf("  %-9s %6.2f%%\n", c, 100*float64(s.ClassMix[c])/float64(s.Count))
+		}
+		if s.Branches > 0 {
+			fmt.Printf("  taken-branch rate: %.1f%%\n", 100*float64(s.Taken)/float64(s.Branches))
+		}
+	}
+}
+
+func runTraces(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	iqSize := fs.Int("iq", 64, "issue queue size")
+	sched := fs.String("sched", "traditional", "scheduler design")
+	n := fs.Uint64("n", 200_000, "commit budget (any thread)")
+	warm := fs.Uint64("warmup", 0, "warmup instructions before measurement")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(fmt.Errorf("run: no trace files given"))
+	}
+	scheduler, err := smtsim.ParseScheduler(*sched)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := smtsim.Run(smtsim.Config{
+		TraceFiles:         fs.Args(),
+		IQSize:             *iqSize,
+		Scheduler:          scheduler,
+		MaxInstructions:    *n,
+		WarmupInstructions: *warm,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cycles=%d committed=%d IPC=%.3f\n", res.Cycles, res.Committed, res.IPC)
+	for i, t := range res.Threads {
+		fmt.Printf("  T%d %-30s IPC=%.3f\n", i, t.Benchmark, t.IPC)
+	}
+}

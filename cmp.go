@@ -1,0 +1,103 @@
+package smtsim
+
+import (
+	"fmt"
+
+	"smtsim/internal/cmp"
+	"smtsim/internal/pipeline"
+	"smtsim/internal/workload"
+)
+
+// CMPConfig describes a chip multiprocessor of SMT cores sharing one L2
+// cache — the Power5-style configuration the paper's introduction
+// motivates. All cores share the scheduler design and machine
+// parameters; they differ only in their workloads.
+type CMPConfig struct {
+	// Cores lists each core's benchmarks (one inner slice per core, one
+	// benchmark per hardware thread).
+	Cores [][]string
+
+	// IQSize, Scheduler, and Deadlock configure every core as in Config.
+	IQSize    int
+	Scheduler Scheduler
+	Deadlock  DeadlockMechanism
+
+	// MaxInstructions stops each core once any of its threads commits
+	// this many instructions (defaults to 200_000).
+	MaxInstructions uint64
+
+	// Seed perturbs workloads; distinct per thread and core.
+	Seed uint64
+}
+
+// CMPResult reports one chip run.
+type CMPResult struct {
+	// Cores holds each core's results, snapshotted at that core's own
+	// completion.
+	Cores []Result
+	// L2MissRate is the shared cache's overall miss rate.
+	L2MissRate float64
+}
+
+// ChipIPC sums the cores' throughputs.
+func (r CMPResult) ChipIPC() float64 {
+	var sum float64
+	for _, c := range r.Cores {
+		sum += c.IPC
+	}
+	return sum
+}
+
+// RunCMP executes a chip-multiprocessor simulation: the cores advance in
+// lockstep and interact through the shared L2's contents.
+func RunCMP(cfg CMPConfig) (CMPResult, error) {
+	if len(cfg.Cores) == 0 {
+		return CMPResult{}, fmt.Errorf("smtsim: no cores configured")
+	}
+	pcfg := pipeline.DefaultConfig()
+	if cfg.IQSize > 0 {
+		pcfg.IQSize = cfg.IQSize
+	}
+	pcfg.Policy = cfg.Scheduler.policy()
+	switch cfg.Deadlock {
+	case DeadlockWatchdog:
+		pcfg.Deadlock = pipeline.DeadlockWatchdog
+	case DeadlockNone:
+		pcfg.Deadlock = pipeline.DeadlockNone
+	}
+
+	ccfg := cmp.Config{Core: pcfg}
+	tid := uint64(0)
+	for _, names := range cfg.Cores {
+		var specs []pipeline.ThreadSpec
+		for _, name := range names {
+			prog, err := workload.CompileBenchmark(name)
+			if err != nil {
+				return CMPResult{}, err
+			}
+			tid++
+			specs = append(specs, pipeline.ThreadSpec{
+				Name:   name,
+				Reader: prog.NewStream(cfg.Seed ^ (tid * 0x9E3779B97F4A7C15)),
+			})
+		}
+		ccfg.Workloads = append(ccfg.Workloads, specs)
+	}
+	sys, err := cmp.New(ccfg)
+	if err != nil {
+		return CMPResult{}, err
+	}
+	budget := cfg.MaxInstructions
+	if budget == 0 {
+		budget = 200_000
+	}
+	results, err := sys.Run(budget)
+	if err != nil {
+		return CMPResult{}, err
+	}
+	out := CMPResult{L2MissRate: sys.L2().Stats().MissRate()}
+	for _, r := range results {
+		out.Cores = append(out.Cores, fromMetrics(r))
+	}
+	return out, nil
+}

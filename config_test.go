@@ -1,0 +1,283 @@
+package smtsim_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"smtsim"
+	"smtsim/internal/tracefile"
+	"smtsim/internal/workload"
+)
+
+func TestIQPartitionConfig(t *testing.T) {
+	res, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"equake", "gzip"},
+		IQPartition:     [3]int{16, 32, 16},
+		Scheduler:       smtsim.TagEliminationOOOD,
+		MaxInstructions: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 one-comparator + 16 two-comparator entries = 64 comparators.
+	if res.Comparators != 64 {
+		t.Errorf("comparators = %d, want 64", res.Comparators)
+	}
+	if res.Committed == 0 {
+		t.Error("partitioned run produced nothing")
+	}
+}
+
+func TestComparatorAccountingPerScheduler(t *testing.T) {
+	for _, tc := range []struct {
+		sched smtsim.Scheduler
+		want  int
+	}{
+		{smtsim.Traditional, 128}, // 64 entries x 2
+		{smtsim.TwoOpBlock, 64},   // 64 entries x 1
+		{smtsim.TwoOpOOOD, 64},
+	} {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"gzip"},
+			IQSize:          64,
+			Scheduler:       tc.sched,
+			MaxInstructions: 2_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Comparators != tc.want {
+			t.Errorf("%v: comparators = %d, want %d", tc.sched, res.Comparators, tc.want)
+		}
+	}
+}
+
+func TestSchedulerEnergyOrdering(t *testing.T) {
+	// The paper's motivation: the 2OP designs must spend materially less
+	// scheduling energy per instruction than the traditional queue.
+	energy := map[smtsim.Scheduler]float64{}
+	for _, sched := range []smtsim.Scheduler{smtsim.Traditional, smtsim.TwoOpOOOD} {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"equake", "gzip"},
+			IQSize:          64,
+			Scheduler:       sched,
+			MaxInstructions: 20_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		energy[sched] = res.SchedulerEnergyPerInst
+	}
+	if !(energy[smtsim.TwoOpOOOD] < 0.8*energy[smtsim.Traditional]) {
+		t.Errorf("2OP energy %.1f not well below traditional %.1f",
+			energy[smtsim.TwoOpOOOD], energy[smtsim.Traditional])
+	}
+}
+
+func TestTraceFileThreads(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i, b := range []string{"gcc", "gzip"} {
+		prog, err := workload.CompileBenchmark(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, b+".smttrc")
+		if err := tracefile.Record(prog.NewStream(uint64(i+1)), 30_000, p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	res, err := smtsim.Run(smtsim.Config{
+		TraceFiles:      paths,
+		IQSize:          64,
+		Scheduler:       smtsim.TwoOpOOOD,
+		MaxInstructions: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 2 || res.Committed < 10_000 {
+		t.Errorf("trace-file run degenerate: %+v", res)
+	}
+	// Benchmarks and TraceFiles are mutually exclusive.
+	if _, err := smtsim.Run(smtsim.Config{
+		Benchmarks: []string{"gcc"},
+		TraceFiles: paths,
+	}); err == nil {
+		t.Error("mixed Benchmarks+TraceFiles accepted")
+	}
+	// Missing file surfaces as an error.
+	if _, err := smtsim.Run(smtsim.Config{
+		TraceFiles: []string{filepath.Join(dir, "nope.smttrc")},
+	}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestWarmupConfig(t *testing.T) {
+	cold, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"gcc"},
+		MaxInstructions: 5_000,
+		Seed:            4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := smtsim.Run(smtsim.Config{
+		Benchmarks:         []string{"gcc"},
+		MaxInstructions:    5_000,
+		WarmupInstructions: 20_000,
+		Seed:               4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.IPC <= cold.IPC {
+		t.Errorf("warm IPC %.3f not above cold %.3f", warm.IPC, cold.IPC)
+	}
+	if warm.Committed < 5_000 || warm.Committed > 6_500 {
+		t.Errorf("warm run reported %d committed; warmup not excluded", warm.Committed)
+	}
+}
+
+func TestRunCMPValidation(t *testing.T) {
+	if _, err := smtsim.RunCMP(smtsim.CMPConfig{}); err == nil {
+		t.Error("empty CMP accepted")
+	}
+	if _, err := smtsim.RunCMP(smtsim.CMPConfig{Cores: [][]string{{"doom3"}}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunCMPDeterminism(t *testing.T) {
+	cfg := smtsim.CMPConfig{
+		Cores:           [][]string{{"equake", "gzip"}, {"gcc", "vortex"}},
+		MaxInstructions: 5_000,
+		Seed:            9,
+	}
+	a, err := smtsim.RunCMP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smtsim.RunCMP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cores {
+		if a.Cores[i].Cycles != b.Cores[i].Cycles {
+			t.Errorf("core %d cycles diverged: %d vs %d", i, a.Cores[i].Cycles, b.Cores[i].Cycles)
+		}
+	}
+}
+
+func TestFetchGateConfigValidation(t *testing.T) {
+	if _, err := smtsim.Run(smtsim.Config{
+		Benchmarks: []string{"gcc"},
+		FetchGate:  "bogus",
+	}); err == nil {
+		t.Error("unknown fetch gate accepted")
+	}
+	for _, g := range []string{"none", "stall", "flush", "data-gate"} {
+		if _, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"gcc"},
+			FetchGate:       g,
+			MaxInstructions: 2_000,
+		}); err != nil {
+			t.Errorf("gate %q rejected: %v", g, err)
+		}
+	}
+}
+
+func TestFiniteMSHRsThrottleMLP(t *testing.T) {
+	run := func(mshrs int) smtsim.Result {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"art"}, // memory-bound: many overlapping misses
+			IQSize:          64,
+			MSHRs:           mshrs,
+			MaxInstructions: 15_000,
+			Seed:            2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unlimited := run(0)
+	throttled := run(1)
+	if throttled.MSHRStallEvents == 0 {
+		t.Error("single MSHR never stalled a load on a memory-bound workload")
+	}
+	if unlimited.MSHRStallEvents != 0 {
+		t.Error("unlimited MSHRs recorded stalls")
+	}
+	if throttled.IPC >= unlimited.IPC {
+		t.Errorf("MSHR throttling did not reduce memory-level parallelism: %.3f vs %.3f",
+			throttled.IPC, unlimited.IPC)
+	}
+}
+
+func TestThreadRotateSelectConfig(t *testing.T) {
+	res, err := smtsim.Run(smtsim.Config{
+		Benchmarks:         []string{"equake", "gzip"},
+		ThreadRotateSelect: true,
+		MaxInstructions:    5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Error("thread-rotate select produced nothing")
+	}
+}
+
+func TestPerThreadIQCapConfig(t *testing.T) {
+	shared, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"equake", "gzip"},
+		IQSize:          64,
+		MaxInstructions: 10_000,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"equake", "gzip"},
+		IQSize:          64,
+		PerThreadIQCap:  4, // severe partitioning must cost throughput
+		MaxInstructions: 10_000,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.IPC >= shared.IPC {
+		t.Errorf("severe partitioning did not reduce throughput: %.3f vs %.3f",
+			capped.IPC, shared.IPC)
+	}
+}
+
+func TestMemoryLatencyOverride(t *testing.T) {
+	fast, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"equake"},
+		MemoryLatency:   40,
+		MaxInstructions: 8_000,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"equake"},
+		MemoryLatency:   400,
+		MaxInstructions: 8_000,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.IPC >= fast.IPC {
+		t.Errorf("longer memory latency did not slow a memory-bound thread: %.3f vs %.3f",
+			slow.IPC, fast.IPC)
+	}
+}

@@ -1,0 +1,65 @@
+// fairness computes the paper's fairness metric — the harmonic mean of
+// weighted IPCs (Luo et al.) — for a four-thread workload under each
+// scheduler design. Weighted IPCs divide each thread's SMT IPC by its
+// single-threaded IPC on the same machine, so the metric punishes
+// designs that buy throughput by starving a thread. This is Figure 8 in
+// miniature, on a single mix.
+//
+// Run with:
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtsim"
+)
+
+func main() {
+	const (
+		iqSize = 64
+		budget = 100_000
+	)
+	benchmarks := []string{"equake", "twolf", "gcc", "gzip"}
+
+	// Reference: each benchmark alone on the baseline machine.
+	fmt.Println("single-threaded reference runs (traditional scheduler):")
+	alone := make([]float64, len(benchmarks))
+	for i, b := range benchmarks {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{b},
+			IQSize:          iqSize,
+			Scheduler:       smtsim.Traditional,
+			MaxInstructions: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		alone[i] = res.IPC
+		class, _ := smtsim.BenchmarkClass(b)
+		fmt.Printf("  %-8s (%s ILP)  IPC %.3f\n", b, class, alone[i])
+	}
+
+	fmt.Printf("\n4-thread SMT runs, IQ=%d:\n", iqSize)
+	fmt.Printf("  %-22s %10s %10s\n", "scheduler", "IPC", "fairness")
+	for _, sched := range smtsim.Schedulers {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      benchmarks,
+			IQSize:          iqSize,
+			Scheduler:       sched,
+			MaxInstructions: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fair, err := smtsim.FairnessMetric(res.PerThreadIPCs(), alone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %10.3f %10.3f\n", sched, res.IPC, fair)
+	}
+	fmt.Println("\nA higher fairness value means every thread retains more of its")
+	fmt.Println("single-threaded speed; throughput alone can hide starvation.")
+}

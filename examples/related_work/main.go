@@ -1,0 +1,75 @@
+// related_work explores the design space around the paper (its Section
+// 6): the tag-elimination partitioned scheduler of Ernst & Austin as an
+// alternative way to cut comparators, and the miss-driven fetch-gating
+// policies (STALL, FLUSH, Data Gating) that attack issue-queue clog from
+// the fetch side instead of the dispatch side.
+//
+// Run with:
+//
+//	go run ./examples/related_work
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smtsim"
+)
+
+func main() {
+	benchmarks := []string{"equake", "twolf", "gcc", "gzip"}
+	const iqSize = 48
+	const budget = 60_000
+
+	fmt.Printf("workload: %v, IQ=%d\n\n", benchmarks, iqSize)
+
+	fmt.Println("comparator-reduction designs:")
+	for _, sched := range []smtsim.Scheduler{
+		smtsim.Traditional, smtsim.TwoOpBlock, smtsim.TwoOpOOOD,
+		smtsim.TagElimination, smtsim.TagEliminationOOOD,
+	} {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      benchmarks,
+			IQSize:          iqSize,
+			Scheduler:       sched,
+			MaxInstructions: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s IPC %.3f\n", sched, res.IPC)
+	}
+
+	fmt.Println("\nfetch gating under the paper's scheduler (2OP + OOO dispatch):")
+	for _, gate := range []string{"none", "stall", "flush", "data-gate"} {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      benchmarks,
+			IQSize:          iqSize,
+			Scheduler:       smtsim.TwoOpOOOD,
+			FetchGate:       gate,
+			MaxInstructions: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		extra := ""
+		if res.GateFlushes > 0 {
+			extra = fmt.Sprintf(" (%d partial flushes)", res.GateFlushes)
+		}
+		fmt.Printf("  %-24s IPC %.3f%s\n", gate, res.IPC, extra)
+	}
+
+	fmt.Println("\ncustom queue partition (entries with 0/1/2 comparators):")
+	for _, part := range [][3]int{{0, 0, 48}, {12, 24, 12}, {24, 24, 0}} {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      benchmarks,
+			IQPartition:     part,
+			Scheduler:       smtsim.TagEliminationOOOD,
+			MaxInstructions: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v  IPC %.3f\n", part, res.IPC)
+	}
+}

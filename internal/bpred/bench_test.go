@@ -1,0 +1,20 @@
+package bpred
+
+import "testing"
+
+// BenchmarkPredictResolve measures the per-branch front-end cost: one
+// direction + target prediction and one training update.
+func BenchmarkPredictResolve(b *testing.B) {
+	p := New(NewBTB(2048, 2))
+	pcs := make([]uint64, 64)
+	for i := range pcs {
+		pcs[i] = 0x120000000 + uint64(i)*16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := pcs[i%len(pcs)]
+		taken := i%3 != 0
+		pt, ptg := p.Predict(pc)
+		p.Resolve(pc, pt, ptg, taken, pc+64)
+	}
+}

@@ -1,0 +1,220 @@
+// Package bpred implements the branch prediction substrate of Table 1:
+// a per-thread 2K-entry gShare predictor with 10-bit global history and a
+// 2048-entry 2-way set-associative branch target buffer.
+//
+// The simulator is trace-driven, so predictions are compared against the
+// recorded outcome: a mismatch charges the front-end redirect penalty in
+// the pipeline; wrong-path instructions are not injected (see DESIGN.md).
+package bpred
+
+// counter is a 2-bit saturating counter; values >= 2 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Gshare is a gShare direction predictor: the pattern-history table is
+// indexed by PC xor global-history.
+type Gshare struct {
+	pht      []counter
+	history  uint32
+	histBits uint
+	mask     uint32
+}
+
+// NewGshare builds a predictor with the given table size (a power of two)
+// and history length in bits.
+func NewGshare(entries int, historyBits uint) *Gshare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: gshare entries must be a positive power of two")
+	}
+	g := &Gshare{
+		pht:      make([]counter, entries),
+		histBits: historyBits,
+		mask:     uint32(entries - 1),
+	}
+	// Weakly taken initial state converges quickly either way.
+	for i := range g.pht {
+		g.pht[i] = 1
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint32 {
+	return (uint32(pc>>2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.pht[g.index(pc)].taken()
+}
+
+// Update trains the predictor with the actual outcome and shifts it into
+// the global history. Callers must invoke Update exactly once per
+// predicted branch, in program order.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.pht[i] = g.pht[i].update(taken)
+	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.history |= 1
+	}
+}
+
+// History exposes the current global history register (for tests).
+func (g *Gshare) History() uint32 { return g.history }
+
+// btbEntry is one BTB way.
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint64
+}
+
+// BTB is a set-associative branch target buffer shared by all threads
+// (PCs from different threads land in distinct synthetic code segments,
+// so destructive aliasing between threads is realistic but rare).
+type BTB struct {
+	sets    [][]btbEntry
+	setMask uint64
+	tick    uint64
+}
+
+// NewBTB builds a BTB with the given total entries and associativity.
+func NewBTB(entries, ways int) *BTB {
+	if ways <= 0 || entries%ways != 0 {
+		panic("bpred: BTB entries must divide by ways")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("bpred: BTB set count must be a power of two")
+	}
+	b := &BTB{sets: make([][]btbEntry, nsets), setMask: uint64(nsets - 1)}
+	for i := range b.sets {
+		b.sets[i] = make([]btbEntry, ways)
+	}
+	return b
+}
+
+func (b *BTB) set(pc uint64) ([]btbEntry, uint64) {
+	idx := (pc >> 2) & b.setMask
+	return b.sets[idx], pc >> 2 / (b.setMask + 1)
+}
+
+// Lookup returns the stored target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	b.tick++
+	set, tag := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = b.tick
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records pc -> target, evicting the LRU way on conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	b.tick++
+	set, tag := b.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].target = target
+			set[i].lru = b.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{valid: true, tag: tag, target: target, lru: b.tick}
+}
+
+// Predictor bundles the per-thread direction predictor with the shared
+// BTB view, exposing the interface the fetch stage consumes.
+type Predictor struct {
+	dir *Gshare
+	btb *BTB
+
+	// Statistics.
+	Branches    uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+}
+
+// New builds a predictor in the paper's configuration: 2K-entry gShare
+// with 10-bit history over the supplied shared BTB.
+func New(btb *BTB) *Predictor {
+	return &Predictor{dir: NewGshare(2048, 10), btb: btb}
+}
+
+// NewWithGshare builds a predictor with a custom direction predictor,
+// used by configuration sweeps and tests.
+func NewWithGshare(g *Gshare, btb *BTB) *Predictor {
+	return &Predictor{dir: g, btb: btb}
+}
+
+// Predict produces the predicted direction and target for the branch at
+// pc. If the direction is taken but the BTB misses, the front end cannot
+// redirect and the prediction degrades to not-taken (fall-through), which
+// is how a real fetch unit behaves.
+func (p *Predictor) Predict(pc uint64) (taken bool, target uint64) {
+	taken = p.dir.Predict(pc)
+	if !taken {
+		return false, 0
+	}
+	target, ok := p.btb.Lookup(pc)
+	if !ok {
+		p.BTBMisses++
+		return false, 0
+	}
+	return true, target
+}
+
+// Resolve trains direction and target state with the actual outcome and
+// reports whether the original prediction was correct.
+func (p *Predictor) Resolve(pc uint64, predictedTaken bool, predictedTarget uint64, actualTaken bool, actualTarget uint64) (correct bool) {
+	p.Branches++
+	correct = predictedTaken == actualTaken && (!actualTaken || predictedTarget == actualTarget)
+	if !correct {
+		p.Mispredicts++
+	}
+	p.dir.Update(pc, actualTaken)
+	if actualTaken {
+		p.btb.Insert(pc, actualTarget)
+	}
+	return correct
+}
+
+// ResetStats clears the counters without touching predictor state, for
+// measurement after a warmup period.
+func (p *Predictor) ResetStats() {
+	p.Branches, p.Mispredicts, p.BTBMisses = 0, 0, 0
+}
+
+// MispredictRate returns the fraction of resolved branches mispredicted.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Branches == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Branches)
+}

@@ -1,0 +1,36 @@
+package cache
+
+import "testing"
+
+// BenchmarkL1DHit measures the hit path of the Table 1 L1 data cache.
+func BenchmarkL1DHit(b *testing.B) {
+	h := DefaultHierarchy()
+	h.LoadLatencyExtra(0x1000) // warm the line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.LoadLatencyExtra(0x1000)
+	}
+}
+
+// BenchmarkStridedSweep measures a strided walk through a working set
+// larger than the L1 — the synthetic workloads' dominant access pattern.
+func BenchmarkStridedSweep(b *testing.B) {
+	h := DefaultHierarchy()
+	const footprint = 256 << 10
+	addr := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.LoadLatencyExtra(0x200000000 + addr)
+		addr = (addr + 64) % footprint
+	}
+}
+
+// BenchmarkFetchPath measures the instruction-side access path.
+func BenchmarkFetchPath(b *testing.B) {
+	h := DefaultHierarchy()
+	pc := uint64(0x120000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FetchLatencyExtra(pc + uint64(i%1024)*4)
+	}
+}

@@ -1,0 +1,222 @@
+// Package cache implements the memory hierarchy of Table 1: generic
+// set-associative write-back, write-allocate caches with LRU replacement,
+// composed into an L1 instruction cache, an L1 data cache, a unified L2,
+// and a flat main memory latency.
+//
+// The simulator charges each access the latency of the deepest level it
+// had to reach. Misses are implicitly overlapping (infinite MSHRs): each
+// in-flight load carries its own completion time, which is the common
+// trace-driven simplification and affects all compared schedulers equally.
+package cache
+
+import "fmt"
+
+// line is one cache line's bookkeeping; data contents are not simulated.
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	Size      int // total bytes
+	Ways      int
+	LineSize  int // bytes
+	HitCycles int // access latency on hit
+}
+
+// Stats accumulates access counters for one cache.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 before any access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	offBits uint
+	tick    uint64
+
+	stats Stats
+}
+
+// New builds a cache from cfg, validating geometry.
+func New(cfg Config) (*Cache, error) {
+	switch {
+	case cfg.Size <= 0 || cfg.Ways <= 0 || cfg.LineSize <= 0:
+		return nil, fmt.Errorf("cache %s: non-positive geometry", cfg.Name)
+	case cfg.LineSize&(cfg.LineSize-1) != 0:
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize)
+	case cfg.Size%(cfg.Ways*cfg.LineSize) != 0:
+		return nil, fmt.Errorf("cache %s: size %d not divisible by ways*line", cfg.Name, cfg.Size)
+	}
+	nsets := cfg.Size / (cfg.Ways * cfg.LineSize)
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, nsets)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for b := cfg.LineSize; b > 1; b >>= 1 {
+		c.offBits++
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the access counters without touching cache contents,
+// for measurement after a warmup period.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) locate(addr uint64) ([]line, uint64) {
+	set := (addr >> c.offBits) & c.setMask
+	tag := addr >> c.offBits >> uint(popcount(c.setMask))
+	return c.sets[set], tag
+}
+
+// Access performs a read or write probe. It returns hit, and whether a
+// dirty line was evicted to make room (the caller charges the writeback to
+// the next level). On miss the line is allocated (write-allocate).
+func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool) {
+	c.tick++
+	c.stats.Accesses++
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	c.stats.Misses++
+	// Allocate: pick invalid way, else LRU.
+	victim := 0
+	found := false
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			found = true
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if !found && set[victim].dirty {
+		writeback = true
+		c.stats.Writebacks++
+	}
+	set[victim] = line{valid: true, dirty: write, tag: tag, lru: c.tick}
+	return false, writeback
+}
+
+// Contains reports whether addr currently hits without touching LRU or
+// statistics (for tests and invariant checks).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Hierarchy composes the Table 1 memory system. The L2 is unified: both
+// L1I and L1D misses probe it.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	MemCycles    int
+}
+
+// DefaultHierarchy builds the paper's configuration: 64KB/2-way/128B L1I,
+// 32KB/4-way/256B L1D, 2MB/8-way/512B L2 with 10-cycle hits, 150-cycle
+// memory.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I:       MustNew(Config{Name: "l1i", Size: 64 << 10, Ways: 2, LineSize: 128, HitCycles: 1}),
+		L1D:       MustNew(Config{Name: "l1d", Size: 32 << 10, Ways: 4, LineSize: 256, HitCycles: 1}),
+		L2:        MustNew(Config{Name: "l2", Size: 2 << 20, Ways: 8, LineSize: 512, HitCycles: 10}),
+		MemCycles: 150,
+	}
+}
+
+// access runs the two-level protocol below one L1.
+func (h *Hierarchy) access(l1 *Cache, addr uint64, write bool) int {
+	hit, wb := l1.Access(addr, write)
+	if hit {
+		return 0
+	}
+	extra := 0
+	if wb {
+		// Dirty eviction installs into L2; charge nothing on the load's
+		// critical path but keep L2 state honest.
+		h.L2.Access(addr, true)
+	}
+	l2hit, _ := h.L2.Access(addr, false)
+	if l2hit {
+		extra = h.L2.Config().HitCycles
+	} else {
+		extra = h.L2.Config().HitCycles + h.MemCycles
+	}
+	return extra
+}
+
+// LoadLatencyExtra returns the cycles beyond the L1 pipeline latency a
+// data load at addr costs (0 for an L1 hit).
+func (h *Hierarchy) LoadLatencyExtra(addr uint64) int {
+	return h.access(h.L1D, addr, false)
+}
+
+// StoreCommit retires a store's data into the hierarchy at commit time.
+// Stores are not on the critical path (the LSQ buffers them), but they
+// keep cache state warm and cause allocations/writebacks.
+func (h *Hierarchy) StoreCommit(addr uint64) {
+	h.access(h.L1D, addr, true)
+}
+
+// FetchLatencyExtra returns the cycles beyond the base fetch latency an
+// instruction fetch at pc costs (0 for an L1I hit).
+func (h *Hierarchy) FetchLatencyExtra(pc uint64) int {
+	return h.access(h.L1I, pc, false)
+}

@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", Size: 0, Ways: 1, LineSize: 64},
+		{Name: "badline", Size: 1024, Ways: 2, LineSize: 48},
+		{Name: "indivisible", Size: 1000, Ways: 2, LineSize: 64},
+		{Name: "badsets", Size: 3 * 64 * 2, Ways: 2, LineSize: 64},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %s accepted", cfg.Name)
+		}
+	}
+	if _, err := New(Config{Name: "ok", Size: 1 << 14, Ways: 4, LineSize: 64}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustCache(t, Config{Name: "t", Size: 1 << 12, Ways: 2, LineSize: 64})
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Error("second access missed")
+	}
+	// Same line, different offset: still a hit.
+	if hit, _ := c.Access(0x103f, false); !hit {
+		t.Error("same-line access missed")
+	}
+	// Next line: miss.
+	if hit, _ := c.Access(0x1040, false); hit {
+		t.Error("adjacent line hit")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, line 64, 2 sets -> set stride 128.
+	c := mustCache(t, Config{Name: "t", Size: 2 * 2 * 64, Ways: 2, LineSize: 64})
+	a, b, d := uint64(0x0000), uint64(0x0080), uint64(0x0100) // same set 0
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recently used
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(b) {
+		t.Error("LRU line survived")
+	}
+	if !c.Contains(d) {
+		t.Error("new line not installed")
+	}
+}
+
+func TestDirtyEvictionSignalsWriteback(t *testing.T) {
+	c := mustCache(t, Config{Name: "t", Size: 2 * 64, Ways: 1, LineSize: 64})
+	c.Access(0x0000, true)           // dirty line in set 0
+	c.Access(0x0040, true)           // set 1
+	_, wb := c.Access(0x0080, false) // evicts dirty set-0 line
+	if !wb {
+		t.Error("dirty eviction did not signal writeback")
+	}
+	_, wb = c.Access(0x0000, false) // evicts clean 0x0080
+	if wb {
+		t.Error("clean eviction signalled writeback")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := mustCache(t, Config{Name: "t", Size: 1 << 12, Ways: 2, LineSize: 64})
+	for i := 0; i < 10; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	for i := 0; i < 10; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	s := c.Stats()
+	if s.Accesses != 20 || s.Misses != 10 {
+		t.Errorf("stats = %+v, want 20 accesses 10 misses", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", s.MissRate())
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty stats miss rate not 0")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := mustCache(t, Config{Name: "t", Size: 2 * 64, Ways: 1, LineSize: 64})
+	c.Access(0x0000, false)
+	before := c.Stats()
+	for i := 0; i < 5; i++ {
+		c.Contains(0x0000)
+		c.Contains(0xfff000)
+	}
+	if c.Stats() != before {
+		t.Error("Contains changed statistics")
+	}
+}
+
+// TestWorkingSetProperty: accesses confined to a working set no larger
+// than the cache must (after one cold pass) always hit; this is the
+// fundamental inclusion property the synthetic workloads rely on to
+// separate L1-resident from L2-resident benchmarks.
+func TestWorkingSetProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := MustNew(Config{Name: "p", Size: 1 << 12, Ways: 4, LineSize: 64})
+		// 64 lines of capacity; working set of 32 lines.
+		addrs := make([]uint64, 32)
+		for i := range addrs {
+			addrs[i] = uint64(i) * 64
+		}
+		for _, a := range addrs {
+			c.Access(a, seed%2 == 0)
+		}
+		for i := 0; i < 128; i++ {
+			a := addrs[(seed+uint64(i)*2654435761)%uint64(len(addrs))]
+			if hit, _ := c.Access(a, false); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := DefaultHierarchy()
+	addr := uint64(0x200000000)
+	// Cold: L1 miss, L2 miss -> L2 hit time + memory.
+	if got := h.LoadLatencyExtra(addr); got != 10+150 {
+		t.Errorf("cold load extra = %d, want 160", got)
+	}
+	// Warm L1.
+	if got := h.LoadLatencyExtra(addr); got != 0 {
+		t.Errorf("L1-hit extra = %d, want 0", got)
+	}
+	// An address that falls out of L1 but stays in L2 costs the L2 hit
+	// time. Build that by touching enough conflicting lines to evict the
+	// L1 copy (L1D is 32KB 4-way with 256B lines -> 32 sets, stride 8KB).
+	for i := 1; i <= 8; i++ {
+		h.LoadLatencyExtra(addr + uint64(i)*8<<10)
+	}
+	if got := h.LoadLatencyExtra(addr); got != 10 {
+		t.Errorf("L2-hit extra = %d, want 10", got)
+	}
+}
+
+func TestHierarchyTable1Geometry(t *testing.T) {
+	h := DefaultHierarchy()
+	checks := []struct {
+		c                     *Cache
+		size, ways, line, hit int
+	}{
+		{h.L1I, 64 << 10, 2, 128, 1},
+		{h.L1D, 32 << 10, 4, 256, 1},
+		{h.L2, 2 << 20, 8, 512, 10},
+	}
+	for _, chk := range checks {
+		cfg := chk.c.Config()
+		if cfg.Size != chk.size || cfg.Ways != chk.ways || cfg.LineSize != chk.line || cfg.HitCycles != chk.hit {
+			t.Errorf("%s geometry %+v does not match Table 1", cfg.Name, cfg)
+		}
+	}
+	if h.MemCycles != 150 {
+		t.Errorf("memory latency %d, want 150", h.MemCycles)
+	}
+}
+
+func TestFetchPathUsesL1I(t *testing.T) {
+	h := DefaultHierarchy()
+	pc := uint64(0x120000000)
+	if got := h.FetchLatencyExtra(pc); got != 160 {
+		t.Errorf("cold fetch extra = %d, want 160", got)
+	}
+	if got := h.FetchLatencyExtra(pc); got != 0 {
+		t.Errorf("warm fetch extra = %d, want 0", got)
+	}
+	if h.L1I.Stats().Accesses != 2 {
+		t.Errorf("L1I accesses = %d, want 2", h.L1I.Stats().Accesses)
+	}
+}
+
+func TestStoreCommitWarmsCache(t *testing.T) {
+	h := DefaultHierarchy()
+	addr := uint64(0x300000000)
+	h.StoreCommit(addr)
+	if got := h.LoadLatencyExtra(addr); got != 0 {
+		t.Errorf("load after store-commit extra = %d, want 0 (write-allocate)", got)
+	}
+}

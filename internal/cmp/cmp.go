@@ -1,0 +1,120 @@
+// Package cmp composes several SMT cores into a chip multiprocessor
+// sharing a unified L2 cache — the configuration the paper's
+// introduction motivates ("IBM Power 5 is dual-core CMP, with each core
+// being 2-way SMT"; likewise Pentium Extreme Edition and Montecito).
+//
+// Each core is a complete Table 1 machine with private L1 caches,
+// predictors, and scheduling logic; the cores advance in lockstep, one
+// cycle at a time, interacting only through the shared L2's contents
+// and replacement state. The composition answers the natural follow-on
+// question to the paper: do the scheduler conclusions survive when two
+// SMT cores contend for the L2?
+package cmp
+
+import (
+	"fmt"
+
+	"smtsim/internal/cache"
+	"smtsim/internal/metrics"
+	"smtsim/internal/pipeline"
+)
+
+// Config describes a chip multiprocessor.
+type Config struct {
+	// Core is the per-core configuration (the Hierarchy field is
+	// overwritten by the shared-L2 plumbing).
+	Core pipeline.Config
+	// Workloads binds each core's hardware threads; one inner slice per
+	// core.
+	Workloads [][]pipeline.ThreadSpec
+	// L2 optionally overrides the shared L2 geometry (nil = Table 1's
+	// 2MB/8-way/512B at 10 cycles).
+	L2 *cache.Config
+	// MemCycles is the main-memory latency (0 = Table 1's 150).
+	MemCycles int
+}
+
+// System is an instantiated chip multiprocessor.
+type System struct {
+	cores []*pipeline.Core
+	l2    *cache.Cache
+}
+
+// New builds the system: one shared L2, per-core private L1s.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("cmp: no cores configured")
+	}
+	l2cfg := cache.Config{Name: "l2", Size: 2 << 20, Ways: 8, LineSize: 512, HitCycles: 10}
+	if cfg.L2 != nil {
+		l2cfg = *cfg.L2
+	}
+	l2, err := cache.New(l2cfg)
+	if err != nil {
+		return nil, err
+	}
+	mem := cfg.MemCycles
+	if mem == 0 {
+		mem = 150
+	}
+	s := &System{l2: l2}
+	for i, specs := range cfg.Workloads {
+		ccfg := cfg.Core
+		ccfg.Hierarchy = &cache.Hierarchy{
+			L1I:       cache.MustNew(cache.Config{Name: "l1i", Size: 64 << 10, Ways: 2, LineSize: 128, HitCycles: 1}),
+			L1D:       cache.MustNew(cache.Config{Name: "l1d", Size: 32 << 10, Ways: 4, LineSize: 256, HitCycles: 1}),
+			L2:        l2,
+			MemCycles: mem,
+		}
+		core, err := pipeline.New(ccfg, specs)
+		if err != nil {
+			return nil, fmt.Errorf("cmp: core %d: %w", i, err)
+		}
+		s.cores = append(s.cores, core)
+	}
+	return s, nil
+}
+
+// Cores returns the number of cores.
+func (s *System) Cores() int { return len(s.cores) }
+
+// Core exposes one core (tests and instrumentation).
+func (s *System) Core(i int) *pipeline.Core { return s.cores[i] }
+
+// L2 exposes the shared cache.
+func (s *System) L2() *cache.Cache { return s.l2 }
+
+// Run steps every core in lockstep until each core has some thread with
+// maxCommit committed instructions, then returns per-core results
+// snapshotted at each core's own completion cycle (so a fast core's
+// statistics are not diluted by cycles it spent merely keeping the L2
+// warm for the laggards). The step order within a cycle is fixed
+// (core 0 first), keeping runs deterministic.
+func (s *System) Run(maxCommit uint64) ([]metrics.Results, error) {
+	if maxCommit == 0 {
+		return nil, fmt.Errorf("cmp: zero commit budget")
+	}
+	results := make([]metrics.Results, len(s.cores))
+	done := make([]bool, len(s.cores))
+	remaining := len(s.cores)
+	var cycles int64
+	maxCycles := int64(maxCommit)*400*int64(len(s.cores)) + 10_000_000
+	for remaining > 0 {
+		cycles++
+		if cycles > maxCycles {
+			return results, fmt.Errorf("cmp: cycle cap reached with %d cores unfinished", remaining)
+		}
+		for i, c := range s.cores {
+			if done[i] {
+				continue
+			}
+			c.Step()
+			if c.MaxCommitted() >= maxCommit {
+				results[i] = c.Results()
+				done[i] = true
+				remaining--
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,138 @@
+package cmp
+
+import (
+	"testing"
+
+	"smtsim/internal/cache"
+	icore "smtsim/internal/core"
+	"smtsim/internal/pipeline"
+	"smtsim/internal/workload"
+)
+
+func threadSpec(t *testing.T, name string, seed uint64) pipeline.ThreadSpec {
+	t.Helper()
+	prog, err := workload.CompileBenchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.ThreadSpec{Name: name, Reader: prog.NewStream(seed)}
+}
+
+func dualCore(t *testing.T, policy icore.Policy) *System {
+	t.Helper()
+	cfg := Config{Core: pipeline.DefaultConfig()}
+	cfg.Core.Policy = policy
+	cfg.Workloads = [][]pipeline.ThreadSpec{
+		{threadSpec(t, "equake", 1), threadSpec(t, "gzip", 2)},
+		{threadSpec(t, "gcc", 3), threadSpec(t, "vortex", 4)},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDualCoreRuns(t *testing.T) {
+	s := dualCore(t, icore.TwoOpOOOD)
+	if s.Cores() != 2 {
+		t.Fatalf("cores = %d", s.Cores())
+	}
+	results, err := s.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Committed < 10_000 || r.IPC <= 0 {
+			t.Errorf("core %d result degenerate: %+v", i, r)
+		}
+		if len(r.Threads) != 2 {
+			t.Errorf("core %d thread count %d", i, len(r.Threads))
+		}
+	}
+	if s.L2().Stats().Accesses == 0 {
+		t.Error("shared L2 never accessed")
+	}
+}
+
+func TestSharedL2SeesBothCores(t *testing.T) {
+	s := dualCore(t, icore.InOrder)
+	if _, err := s.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
+	// Both cores' L1 miss streams funnel into the single L2; its access
+	// count must exceed either core's private L1D miss count alone.
+	l2 := s.L2().Stats()
+	if l2.Accesses == 0 || l2.Misses == 0 {
+		t.Errorf("shared L2 stats empty: %+v", l2)
+	}
+}
+
+func TestCMPDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		s := dualCore(t, icore.TwoOpOOOD)
+		res, err := s.Run(5_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Cycles, res[1].Cycles
+	}
+	a0, a1 := run()
+	b0, b1 := run()
+	if a0 != b0 || a1 != b1 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", a0, a1, b0, b1)
+	}
+}
+
+func TestL2ContentionVisible(t *testing.T) {
+	// A core sharing its L2 with a cache-hungry neighbor must run no
+	// faster than the same core with the L2 to itself.
+	solo := Config{Core: pipeline.DefaultConfig()}
+	solo.Workloads = [][]pipeline.ThreadSpec{
+		{threadSpec(t, "gcc", 3), threadSpec(t, "vortex", 4)},
+	}
+	s1, err := New(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := dualCore(t, icore.InOrder)
+	r2, err := s2.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 of the dual config runs gcc+vortex, like the solo system.
+	if r2[1].IPC > r1[0].IPC*1.02 {
+		t.Errorf("L2 contention made the core faster: %.3f vs %.3f solo", r2[1].IPC, r1[0].IPC)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty CMP accepted")
+	}
+	bad := Config{
+		Core: pipeline.DefaultConfig(),
+		L2:   &cache.Config{Name: "l2", Size: 100, Ways: 3, LineSize: 48},
+		Workloads: [][]pipeline.ThreadSpec{
+			{threadSpec(t, "gcc", 1)},
+		},
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("bad L2 geometry accepted")
+	}
+	if _, err := New(Config{Core: pipeline.DefaultConfig(), Workloads: [][]pipeline.ThreadSpec{{}}}); err == nil {
+		t.Error("empty core workload accepted")
+	}
+}
+
+func TestZeroBudget(t *testing.T) {
+	s := dualCore(t, icore.InOrder)
+	if _, err := s.Run(0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

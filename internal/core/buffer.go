@@ -1,0 +1,93 @@
+package core
+
+import "smtsim/internal/uop"
+
+// Buffer is one thread's dispatch buffer: the renamed instructions that
+// have not yet entered the issue queue, in program order. Under in-order
+// policies only the head is a dispatch candidate; under out-of-order
+// dispatch the whole buffer is scanned, so its capacity bounds how much
+// hidden ILP the OOOD mechanism can expose.
+type Buffer struct {
+	buf  []*uop.UOp
+	head int
+	size int
+}
+
+// NewBuffer builds a buffer with the given capacity.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("core: buffer capacity must be positive")
+	}
+	return &Buffer{buf: make([]*uop.UOp, capacity)}
+}
+
+// Cap returns the capacity.
+func (b *Buffer) Cap() int { return len(b.buf) }
+
+// Len returns the number of buffered instructions.
+func (b *Buffer) Len() int { return b.size }
+
+// CanPush reports whether one more instruction fits.
+func (b *Buffer) CanPush() bool { return b.size < len(b.buf) }
+
+// Push appends a renamed instruction in program order.
+func (b *Buffer) Push(u *uop.UOp) {
+	if b.size == len(b.buf) {
+		panic("core: dispatch buffer overflow")
+	}
+	b.buf[(b.head+b.size)%len(b.buf)] = u
+	b.size++
+}
+
+// At returns the i-th oldest buffered instruction (0 = oldest).
+func (b *Buffer) At(i int) *uop.UOp {
+	if i < 0 || i >= b.size {
+		panic("core: buffer index out of range")
+	}
+	return b.buf[(b.head+i)%len(b.buf)]
+}
+
+// RemoveAt extracts the i-th oldest instruction, preserving the order of
+// the rest. i==0 is the common in-order case and is O(1); out-of-order
+// removal shifts at most Cap-1 pointers, which is trivial at the buffer
+// sizes involved (tens of entries).
+func (b *Buffer) RemoveAt(i int) *uop.UOp {
+	u := b.At(i)
+	if i == 0 {
+		b.buf[b.head] = nil
+		b.head = (b.head + 1) % len(b.buf)
+		b.size--
+		return u
+	}
+	for j := i; j < b.size-1; j++ {
+		b.buf[(b.head+j)%len(b.buf)] = b.buf[(b.head+j+1)%len(b.buf)]
+	}
+	b.buf[(b.head+b.size-1)%len(b.buf)] = nil
+	b.size--
+	return u
+}
+
+// DrainYoungerThan removes every buffered instruction younger than gseq
+// from the tail, returning them in program order (selective-squash path).
+func (b *Buffer) DrainYoungerThan(gseq uint64) []*uop.UOp {
+	cut := b.size
+	for cut > 0 && b.At(cut-1).GSeq > gseq {
+		cut--
+	}
+	n := b.size - cut
+	out := make([]*uop.UOp, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = b.RemoveAt(b.size - 1)
+	}
+	return out
+}
+
+// DrainAll empties the buffer, returning its contents in program order
+// (watchdog flush path).
+func (b *Buffer) DrainAll() []*uop.UOp {
+	out := make([]*uop.UOp, 0, b.size)
+	for b.size > 0 {
+		out = append(out, b.RemoveAt(0))
+	}
+	return out
+}

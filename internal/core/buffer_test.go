@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtsim/internal/uop"
+)
+
+func TestBufferPushAtRemove(t *testing.T) {
+	b := NewBuffer(4)
+	us := []*uop.UOp{{GSeq: 1}, {GSeq: 2}, {GSeq: 3}}
+	for _, u := range us {
+		if !b.CanPush() {
+			t.Fatal("CanPush false below capacity")
+		}
+		b.Push(u)
+	}
+	for i, u := range us {
+		if b.At(i) != u {
+			t.Fatalf("At(%d) wrong", i)
+		}
+	}
+	// Remove the middle entry: order of the rest preserved.
+	if got := b.RemoveAt(1); got != us[1] {
+		t.Fatal("RemoveAt(1) returned wrong entry")
+	}
+	if b.At(0) != us[0] || b.At(1) != us[2] || b.Len() != 2 {
+		t.Fatal("order broken after middle removal")
+	}
+}
+
+func TestBufferOverflowPanics(t *testing.T) {
+	b := NewBuffer(1)
+	b.Push(&uop.UOp{})
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	b.Push(&uop.UOp{})
+}
+
+func TestBufferIndexPanics(t *testing.T) {
+	b := NewBuffer(2)
+	b.Push(&uop.UOp{})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	b.At(1)
+}
+
+func TestBufferDrainAll(t *testing.T) {
+	b := NewBuffer(4)
+	var want []*uop.UOp
+	for i := 0; i < 4; i++ {
+		u := &uop.UOp{GSeq: uint64(i)}
+		b.Push(u)
+		want = append(want, u)
+	}
+	got := b.DrainAll()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order broken at %d", i)
+		}
+	}
+	if b.Len() != 0 || !b.CanPush() {
+		t.Error("buffer unusable after drain")
+	}
+}
+
+// TestBufferOrderProperty: arbitrary push/removeAt sequences keep the
+// buffer ordered by insertion sequence — the program-order invariant the
+// dispatch policies scan under.
+func TestBufferOrderProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := NewBuffer(8)
+		seq := uint64(0)
+		for _, op := range ops {
+			if op%3 != 0 && b.CanPush() {
+				seq++
+				b.Push(&uop.UOp{GSeq: seq})
+			} else if b.Len() > 0 {
+				b.RemoveAt(int(op) % b.Len())
+			}
+			for i := 1; i < b.Len(); i++ {
+				if b.At(i-1).GSeq >= b.At(i).GSeq {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferWrapAround(t *testing.T) {
+	b := NewBuffer(3)
+	seq := uint64(0)
+	push := func() { seq++; b.Push(&uop.UOp{GSeq: seq}) }
+	push()
+	push()
+	b.RemoveAt(0)
+	push()
+	push() // wraps
+	if b.Len() != 3 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	for i := 1; i < b.Len(); i++ {
+		if b.At(i-1).GSeq >= b.At(i).GSeq {
+			t.Fatal("wrap-around broke ordering")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"smtsim/internal/regfile"
+	"smtsim/internal/uop"
+)
+
+// Kind is the paper's Section 4 classification of an instruction
+// considered for dispatch.
+type Kind uint8
+
+const (
+	// DI (Dispatchable Instruction): an appropriate IQ entry exists for
+	// its current non-ready source count.
+	DI Kind = iota
+	// NDI (Non-Dispatchable Instruction): no IQ entry has enough tag
+	// comparators (under a one-comparator scheduler, two non-ready
+	// sources).
+	NDI
+	// HDI (Hidden Dispatchable Instruction): a DI that sits behind an
+	// older NDI in its thread's program order — invisible to the
+	// scheduler under in-order dispatch, exposed by out-of-order
+	// dispatch.
+	HDI
+)
+
+// String returns "DI", "NDI", or "HDI".
+func (k Kind) String() string {
+	switch k {
+	case DI:
+		return "DI"
+	case NDI:
+		return "NDI"
+	case HDI:
+		return "HDI"
+	}
+	return "?"
+}
+
+// Classify labels each instruction of a program-order dispatch window
+// according to the paper's taxonomy, given the current register ready
+// state and the scheduler's per-entry comparator count (maxNonReady, 1
+// for 2OP designs). This is the logic of Figure 2 as a pure function,
+// used by tests and by the example programs.
+func Classify(window []*uop.UOp, rf *regfile.File, maxNonReady int) []Kind {
+	kinds := make([]Kind, len(window))
+	behindNDI := false
+	for i, u := range window {
+		if u.NumSrcNotReady(rf) > maxNonReady {
+			kinds[i] = NDI
+			behindNDI = true
+			continue
+		}
+		if behindNDI {
+			kinds[i] = HDI
+		} else {
+			kinds[i] = DI
+		}
+	}
+	return kinds
+}

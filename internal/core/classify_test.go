@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/regfile"
+	"smtsim/internal/uop"
+)
+
+// TestFigure2Example reproduces the paper's Figure 2 walkthrough: under a
+// one-comparator scheduler, I1 (ready sources) is a DI, I2 (two non-ready
+// sources) is an NDI, and I3/I4 behind it are HDIs — including I4, which
+// depends on I2 but is still dispatchable because only one of its sources
+// is non-ready.
+func TestFigure2Example(t *testing.T) {
+	rf := regfile.New(32, 32)
+	alloc := func(ready bool) regfile.PhysRef {
+		p := rf.Alloc(isa.IntReg)
+		if ready {
+			rf.SetReady(p)
+		}
+		return p
+	}
+
+	r1, r2 := alloc(true), alloc(true)
+	r3, r4 := alloc(false), alloc(false) // produced by in-flight loads
+	i1 := &uop.UOp{GSeq: 1, Srcs: [2]regfile.PhysRef{r1, r2}, Dest: alloc(false)}
+	i2 := &uop.UOp{GSeq: 2, Srcs: [2]regfile.PhysRef{r3, r4}, Dest: alloc(false)}
+	i3 := &uop.UOp{GSeq: 3, Srcs: [2]regfile.PhysRef{r1, regfile.NoPhys}, Dest: alloc(false)}
+	i4 := &uop.UOp{GSeq: 4, Srcs: [2]regfile.PhysRef{i2.Dest, r2}, Dest: alloc(false)}
+
+	kinds := Classify([]*uop.UOp{i1, i2, i3, i4}, rf, 1)
+	want := []Kind{DI, NDI, HDI, HDI}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("I%d classified %v, want %v", i+1, kinds[i], want[i])
+		}
+	}
+}
+
+func TestClassifyTraditionalHasNoNDIs(t *testing.T) {
+	rf := regfile.New(32, 32)
+	nr := func() regfile.PhysRef { return rf.Alloc(isa.IntReg) }
+	u := &uop.UOp{GSeq: 1, Srcs: [2]regfile.PhysRef{nr(), nr()}}
+	kinds := Classify([]*uop.UOp{u}, rf, 2)
+	if kinds[0] != DI {
+		t.Errorf("two-comparator scheduler classified %v, want DI", kinds[0])
+	}
+}
+
+func TestClassifyEmptyWindow(t *testing.T) {
+	if got := Classify(nil, regfile.New(4, 4), 1); len(got) != 0 {
+		t.Errorf("empty window returned %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if DI.String() != "DI" || NDI.String() != "NDI" || HDI.String() != "HDI" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(9).String() != "?" {
+		t.Error("unknown kind not handled")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import "smtsim/internal/uop"
+
+// DAB is the deadlock-avoidance buffer of Section 4: a small RAM (no
+// wakeup CAM) holding instructions that are the oldest in their thread's
+// ROB but could not obtain an issue-queue entry. Such instructions have
+// all source operands ready by definition — every older instruction has
+// committed — so they only wait for a functional unit.
+//
+// Instructions in the DAB take issue precedence over the IQ; when the DAB
+// is non-empty, IQ selection is disabled (the paper's preferred, simpler
+// arbitration, noted to cost essentially nothing because the IQ is
+// unlikely to issue anything in these episodes anyway).
+type DAB struct {
+	entries []*uop.UOp
+	cap     int
+
+	// Inserts counts total captures, an indicator of how often the
+	// deadlock-avoidance path engages.
+	Inserts uint64
+}
+
+// NewDAB builds a buffer with the given capacity. One entry per hardware
+// thread is sufficient to guarantee forward progress: only a thread's
+// single ROB-oldest instruction is ever eligible.
+func NewDAB(capacity int) *DAB {
+	if capacity <= 0 {
+		panic("core: DAB capacity must be positive")
+	}
+	return &DAB{cap: capacity}
+}
+
+// Cap returns the capacity.
+func (d *DAB) Cap() int { return d.cap }
+
+// Len returns the number of waiting instructions.
+func (d *DAB) Len() int { return len(d.entries) }
+
+// CanInsert reports whether a free slot exists.
+func (d *DAB) CanInsert() bool { return len(d.entries) < d.cap }
+
+// Insert captures a ROB-oldest instruction.
+func (d *DAB) Insert(u *uop.UOp) {
+	if !d.CanInsert() {
+		panic("core: DAB overflow")
+	}
+	u.InDAB = true
+	d.entries = append(d.entries, u)
+	d.Inserts++
+}
+
+// Entries returns the current occupants oldest-insertion-first. The
+// returned slice is the internal storage; callers must not mutate it.
+func (d *DAB) Entries() []*uop.UOp { return d.entries }
+
+// Remove extracts u at issue (or squash).
+func (d *DAB) Remove(u *uop.UOp) {
+	for i, e := range d.entries {
+		if e == u {
+			d.entries = append(d.entries[:i], d.entries[i+1:]...)
+			u.InDAB = false
+			return
+		}
+	}
+	panic("core: DAB remove of absent entry")
+}
+
+// DrainThread removes all of thread t's occupants (watchdog flush path).
+func (d *DAB) DrainThread(t int) []*uop.UOp {
+	var out []*uop.UOp
+	kept := d.entries[:0]
+	for _, u := range d.entries {
+		if u.Thread == t {
+			u.InDAB = false
+			out = append(out, u)
+		} else {
+			kept = append(kept, u)
+		}
+	}
+	d.entries = kept
+	return out
+}
+
+// Watchdog is the alternative deadlock-recovery mechanism of Section 4: a
+// countdown since the last dispatch. When it expires, the pipeline
+// flushes all in-flight instructions and refetches from the ROB-oldest
+// PCs. The paper sets the limit to 2-3x the memory latency; the pipeline
+// configuration chooses the concrete value.
+type Watchdog struct {
+	limit     int64
+	remaining int64
+
+	// Expiries counts watchdog firings (each costs a full pipeline flush).
+	Expiries uint64
+}
+
+// NewWatchdog builds a watchdog with the given cycle limit.
+func NewWatchdog(limit int64) *Watchdog {
+	if limit <= 0 {
+		panic("core: watchdog limit must be positive")
+	}
+	return &Watchdog{limit: limit, remaining: limit}
+}
+
+// Tick advances one cycle. dispatched reports whether any instruction was
+// dispatched this cycle (which resets the counter). Tick returns true
+// when the watchdog expires; the counter is then reset for the next epoch.
+func (w *Watchdog) Tick(dispatched bool) bool {
+	if dispatched {
+		w.remaining = w.limit
+		return false
+	}
+	w.remaining--
+	if w.remaining > 0 {
+		return false
+	}
+	w.Expiries++
+	w.remaining = w.limit
+	return true
+}
+
+// Limit returns the configured countdown start value.
+func (w *Watchdog) Limit() int64 { return w.limit }

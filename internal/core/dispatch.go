@@ -1,0 +1,448 @@
+package core
+
+import (
+	"smtsim/internal/iq"
+	"smtsim/internal/regfile"
+	"smtsim/internal/rob"
+	"smtsim/internal/uop"
+)
+
+// Stats aggregates the dispatch-stage statistics the paper reports.
+type Stats struct {
+	// Dispatched counts instructions sent to the IQ or DAB.
+	Dispatched uint64
+	// Cycles counts dispatch-stage invocations (one per machine cycle),
+	// the denominator for the stall fractions.
+	Cycles uint64
+	// StallAllNDI counts cycles in which nothing dispatched and every
+	// thread simultaneously held buffered instructions blocked by the
+	// 2OP condition (an NDI at the head under in-order dispatch; only
+	// NDIs buffered under OOOD) — the paper's "dispatch of all threads
+	// stalls" statistic (43%/17%/7% for 2/3/4 threads at 64 entries
+	// under 2OP_BLOCK; 0.2% under OOOD for 2 threads).
+	StallAllNDI uint64
+	// StallNDIWeak counts zero-dispatch cycles in which at least one
+	// thread was NDI-blocked and no thread was blocked for any other
+	// reason (threads with empty buffers — starved upstream — are
+	// ignored). This looser reading of the paper's statistic bounds the
+	// strict StallAllNDI from above.
+	StallNDIWeak uint64
+	// StallAllAny counts cycles with buffered work somewhere and zero
+	// dispatches for any reason (NDI or IQ-full).
+	StallAllAny uint64
+	// WorkCycles counts cycles in which at least one thread had buffered
+	// instructions.
+	WorkCycles uint64
+	// NDIBlockCycles counts, per thread, cycles the thread's oldest
+	// undispatched instruction was an NDI.
+	NDIBlockCycles []uint64
+	// PiledSampled and PiledHDI sample, once per NDI-blocked thread
+	// cycle, the instructions queued behind the blocking NDI and how
+	// many of them are themselves dispatchable — the paper's "almost
+	// 90% of instructions piled up behind the NDIs are HDIs".
+	PiledSampled uint64
+	PiledHDI     uint64
+	// HDIDispatched counts instructions dispatched out of program order
+	// (ahead of an older NDI); HDIDepOnNDI counts those that directly or
+	// transitively depended on a blocked NDI (the paper's ~10%).
+	HDIDispatched uint64
+	HDIDepOnNDI   uint64
+	// NDIDispatchDelayed counts instructions that spent at least one
+	// cycle classified as NDI before eventually dispatching.
+	NDIDispatchDelayed uint64
+}
+
+// Dispatcher implements one dispatch policy over the per-thread buffers.
+// It owns the buffers and the DAB; the pipeline pushes renamed
+// instructions in and calls Run once per cycle.
+type Dispatcher struct {
+	policy  Policy
+	width   int
+	bufs    []*Buffer
+	dab     *DAB
+	useDAB  bool
+	threads int
+	rr      int
+
+	// perThreadCap, when positive, statically partitions the shared
+	// queue: no thread may hold more than this many IQ entries (Raasch &
+	// Reinhardt-style resource partitioning, [9] in the paper).
+	perThreadCap int
+
+	// taint tracks, per thread, destination registers of currently
+	// blocked NDIs and of dispatched instructions transitively dependent
+	// on them; it feeds the DepOnNDI statistic and the idealized filter.
+	taint []map[regfile.PhysRef]bool
+
+	stats Stats
+}
+
+// NewDispatcher builds a dispatcher for the given policy, total dispatch
+// width (machine width, shared by all threads), per-thread buffer
+// capacity, and thread count. The DAB is sized one entry per thread,
+// which Section 4 argues is sufficient to prevent deadlock.
+func NewDispatcher(policy Policy, width, bufCap, threads int) *Dispatcher {
+	d := &Dispatcher{
+		policy:  policy,
+		width:   width,
+		threads: threads,
+		dab:     NewDAB(threads),
+		useDAB:  true,
+		taint:   make([]map[regfile.PhysRef]bool, threads),
+	}
+	d.bufs = make([]*Buffer, threads)
+	for t := range d.bufs {
+		d.bufs[t] = NewBuffer(bufCap)
+		d.taint[t] = make(map[regfile.PhysRef]bool)
+	}
+	d.stats.NDIBlockCycles = make([]uint64, threads)
+	return d
+}
+
+// Policy returns the configured policy.
+func (d *Dispatcher) Policy() Policy { return d.policy }
+
+// DAB exposes the deadlock-avoidance buffer to the issue stage.
+func (d *Dispatcher) DAB() *DAB { return d.dab }
+
+// SetDABEnabled turns the deadlock-avoidance path on or off (it is on by
+// default). The watchdog-timer configuration and the deadlock
+// demonstration tests disable it.
+func (d *Dispatcher) SetDABEnabled(on bool) { d.useDAB = on }
+
+// SetPerThreadCap statically partitions the queue: each thread may hold
+// at most cap entries (0 restores full sharing). Dispatch for a thread
+// at its cap blocks as if the queue were full for it.
+func (d *Dispatcher) SetPerThreadCap(cap int) { d.perThreadCap = cap }
+
+// atCap reports whether thread t has exhausted its queue share.
+func (d *Dispatcher) atCap(t int, q *iq.Queue) bool {
+	return d.perThreadCap > 0 && q.ThreadCount(t) >= d.perThreadCap
+}
+
+// Buffer returns thread t's dispatch buffer.
+func (d *Dispatcher) Buffer(t int) *Buffer { return d.bufs[t] }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Dispatcher) Stats() Stats { return d.stats }
+
+// ResetStats clears the accumulated statistics (taint and buffer state
+// are untouched), for measurement after a warmup period.
+func (d *Dispatcher) ResetStats() {
+	d.stats = Stats{NDIBlockCycles: make([]uint64, d.threads)}
+	d.dab.Inserts = 0
+}
+
+// blockReason records why a thread dispatched nothing this cycle.
+type blockReason uint8
+
+const (
+	blockNone   blockReason = iota // dispatched something or no work
+	blockNDI                       // 2OP condition: oldest undispatched is an NDI (or, under OOOD, all candidates are)
+	blockIQFull                    // no free IQ entry (and DAB not applicable)
+)
+
+// Run performs one cycle of dispatch: up to width instructions move from
+// the thread buffers into the IQ (or the DAB). The scan order across
+// threads rotates every cycle for fairness. Returns the number
+// dispatched.
+func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob.ROB) int {
+	budget := d.width
+	dispatched := 0
+	anyWork := false
+	reasons := make([]blockReason, d.threads)
+
+	start := d.rr
+	d.rr = (d.rr + 1) % d.threads
+	for i := 0; i < d.threads; i++ {
+		t := (start + i) % d.threads
+		if d.bufs[t].Len() == 0 {
+			continue
+		}
+		anyWork = true
+		n, reason := d.runThread(cycle, t, q, rf, robs[t], budget)
+		budget -= n
+		dispatched += n
+		if n == 0 {
+			reasons[t] = reason
+		}
+		if budget == 0 {
+			break
+		}
+	}
+
+	// Stall accounting. A cycle counts against the 2OP condition only if
+	// every thread simultaneously held work and was NDI-blocked; a
+	// thread with an empty buffer is starved upstream, not stalled by
+	// the scheduler.
+	d.stats.Cycles++
+	if anyWork {
+		d.stats.WorkCycles++
+		if dispatched == 0 {
+			d.stats.StallAllAny++
+			strict := true
+			weak := false
+			for t := 0; t < d.threads; t++ {
+				switch {
+				case d.bufs[t].Len() == 0:
+					strict = false
+				case reasons[t] == blockNDI:
+					weak = true
+				default:
+					strict = false
+					weak = false
+					t = d.threads // a non-NDI block disqualifies both
+				}
+			}
+			if weak {
+				d.stats.StallNDIWeak++
+			}
+			if strict && weak {
+				d.stats.StallAllNDI++
+			}
+		}
+	}
+	d.stats.Dispatched += uint64(dispatched)
+	return dispatched
+}
+
+// runThread dispatches from one thread's buffer within the remaining
+// budget, returning how many instructions moved and, when zero, why.
+func (d *Dispatcher) runThread(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
+	if d.policy.OutOfOrder() {
+		return d.runThreadOOO(cycle, t, q, rf, r, budget)
+	}
+	return d.runThreadInOrder(cycle, t, q, rf, r, budget)
+}
+
+func (d *Dispatcher) runThreadInOrder(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
+	buf := d.bufs[t]
+	moved := 0
+	reason := blockNone
+	for moved < budget && buf.Len() > 0 {
+		u := buf.At(0)
+		nr := u.NumSrcNotReady(rf)
+		if !q.ClassSupported(nr) {
+			// Static NDI: no entry type in this queue has enough tag
+			// comparators (the 2OP condition). The whole thread stalls
+			// at dispatch until an operand becomes ready.
+			d.markNDI(t, u)
+			d.stats.NDIBlockCycles[t]++
+			d.samplePiled(t, rf)
+			reason = blockNDI
+			break
+		}
+		if d.atCap(t, q) {
+			reason = blockIQFull
+			break
+		}
+		if !q.CanAccept(nr) {
+			if q.Free() == 0 {
+				reason = blockIQFull
+			} else {
+				// Dynamic NDI: suitable entry types exist but all are
+				// occupied (tag-elimination partitions hit this; the
+				// paper's DI definition requires an *available*
+				// appropriate entry).
+				d.markNDI(t, u)
+				d.stats.NDIBlockCycles[t]++
+				reason = blockNDI
+			}
+			break
+		}
+		d.commitDispatch(cycle, t, u, nr, q, rf, false)
+		buf.RemoveAt(0)
+		moved++
+	}
+	return moved, reason
+}
+
+func (d *Dispatcher) runThreadOOO(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
+	buf := d.bufs[t]
+	moved := 0
+	reason := blockNone
+
+	// Per-cycle statistics: if the oldest undispatched instruction is an
+	// NDI this cycle, record the block and sample the pile behind it.
+	if buf.At(0).NumSrcNotReady(rf) > 1 {
+		d.stats.NDIBlockCycles[t]++
+		d.samplePiled(t, rf)
+	}
+
+	if d.atCap(t, q) {
+		return 0, blockIQFull
+	}
+
+scan:
+	for moved < budget && buf.Len() > 0 {
+		idx := -1
+		sawNDI := false
+		var pick *uop.UOp
+		for j := 0; j < buf.Len(); j++ {
+			u := buf.At(j)
+			nr := u.NumSrcNotReady(rf)
+			if !q.ClassSupported(nr) {
+				// Static NDI (the 2OP condition): skip it; younger
+				// dispatchable instructions may proceed out of order.
+				d.markNDI(t, u)
+				sawNDI = true
+				continue
+			}
+			if d.policy.filtered() && d.dependsOnNDI(t, u) {
+				// Idealized filter: withhold NDI-dependent HDIs. Their
+				// destinations are tainted so transitive dependents are
+				// withheld too.
+				u.DepOnNDI = true
+				if u.Dest.Valid() {
+					d.taint[t][u.Dest] = true
+				}
+				continue
+			}
+			if !q.CanAccept(nr) {
+				if q.Free() == 0 {
+					// Queue completely full. Deadlock-avoidance path:
+					// the ROB-oldest instruction may proceed to the DAB
+					// (its sources are ready by definition).
+					if d.useDAB && r.IsHead(u) && d.dab.CanInsert() {
+						buf.RemoveAt(j)
+						d.dispatchToDAB(cycle, t, u, sawNDI && j > 0)
+						moved++
+						continue scan
+					}
+					reason = blockIQFull
+					break scan
+				}
+				// Dynamic NDI: u's entry class is exhausted but other
+				// classes have room; a younger instruction with fewer
+				// non-ready operands may still fit.
+				d.markNDI(t, u)
+				sawNDI = true
+				continue
+			}
+			idx = j
+			pick = u
+			break
+		}
+		if idx < 0 {
+			// Everything buffered is an NDI (or filtered): the 2OP
+			// condition blocks the thread even under OOOD.
+			reason = blockNDI
+			break
+		}
+		nr := pick.NumSrcNotReady(rf)
+		buf.RemoveAt(idx)
+		d.commitDispatch(cycle, t, pick, nr, q, rf, sawNDI && idx > 0)
+		moved++
+		if d.atCap(t, q) {
+			reason = blockIQFull
+			break
+		}
+	}
+	return moved, reason
+}
+
+// markNDI records that u is blocked as an NDI this cycle and taints its
+// destination so dependents can be recognized.
+func (d *Dispatcher) markNDI(t int, u *uop.UOp) {
+	if !u.WasNDI {
+		u.WasNDI = true
+		d.stats.NDIDispatchDelayed++
+	}
+	if u.Dest.Valid() {
+		d.taint[t][u.Dest] = true
+	}
+}
+
+// samplePiled samples the instructions queued behind the thread's oldest
+// NDI for the HDI-fraction statistic. Callers invoke it at most once per
+// thread per cycle, when the buffer head is an NDI.
+func (d *Dispatcher) samplePiled(t int, rf *regfile.File) {
+	buf := d.bufs[t]
+	for j := 1; j < buf.Len(); j++ {
+		d.stats.PiledSampled++
+		if buf.At(j).NumSrcNotReady(rf) <= 1 {
+			d.stats.PiledHDI++
+		}
+	}
+}
+
+// dependsOnNDI reports whether any of u's sources is currently tainted —
+// produced by a blocked NDI or by an instruction transitively dependent
+// on one.
+func (d *Dispatcher) dependsOnNDI(t int, u *uop.UOp) bool {
+	for _, s := range u.Srcs {
+		if s.Valid() && d.taint[t][s] {
+			return true
+		}
+	}
+	return false
+}
+
+// commitDispatch finalizes a dispatch into the IQ.
+func (d *Dispatcher) commitDispatch(cycle int64, t int, u *uop.UOp, nonReady int, q *iq.Queue, rf *regfile.File, outOfOrder bool) {
+	u.DispatchedAt = cycle
+	u.NonReadyAtDispatch = nonReady
+	if u.Dest.Valid() {
+		delete(d.taint[t], u.Dest) // no longer a blocked producer
+	}
+	if outOfOrder {
+		u.WasHDI = true
+		d.stats.HDIDispatched++
+		if d.dependsOnNDI(t, u) {
+			u.DepOnNDI = true
+			d.stats.HDIDepOnNDI++
+			if u.Dest.Valid() {
+				d.taint[t][u.Dest] = true
+			}
+		}
+	}
+	q.Insert(u, rf)
+}
+
+// dispatchToDAB finalizes a capture into the deadlock-avoidance buffer.
+func (d *Dispatcher) dispatchToDAB(cycle int64, t int, u *uop.UOp, outOfOrder bool) {
+	u.DispatchedAt = cycle
+	u.NonReadyAtDispatch = 0
+	if u.Dest.Valid() {
+		delete(d.taint[t], u.Dest)
+	}
+	if outOfOrder {
+		u.WasHDI = true
+		d.stats.HDIDispatched++
+	}
+	d.dab.Insert(u)
+}
+
+// OnComplete clears dependence taint for a finished producer: once the
+// value exists, younger readers no longer "depend on an NDI" in the sense
+// of the paper's statistic.
+func (d *Dispatcher) OnComplete(u *uop.UOp) {
+	if u.Dest.Valid() {
+		delete(d.taint[u.Thread], u.Dest)
+	}
+}
+
+// DrainThread empties thread t's buffer and DAB slots, returning the
+// drained instructions (watchdog flush path). Taint state is reset.
+func (d *Dispatcher) DrainThread(t int) (buffered, dab []*uop.UOp) {
+	buffered = d.bufs[t].DrainAll()
+	dab = d.dab.DrainThread(t)
+	d.taint[t] = make(map[regfile.PhysRef]bool)
+	return buffered, dab
+}
+
+// SquashYoungerThan removes thread t's undispatched instructions younger
+// than gseq from the dispatch buffer (selective-squash path) and clears
+// their dependence taint. DAB occupants are never younger squash victims
+// in practice — only the ROB-oldest instruction enters the DAB — but the
+// caller still owns removing squashed instructions from the IQ/DAB by
+// identity.
+func (d *Dispatcher) SquashYoungerThan(t int, gseq uint64) []*uop.UOp {
+	out := d.bufs[t].DrainYoungerThan(gseq)
+	for _, u := range out {
+		if u.Dest.Valid() {
+			delete(d.taint[t], u.Dest)
+		}
+	}
+	return out
+}

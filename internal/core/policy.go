@@ -1,0 +1,104 @@
+// Package core implements the paper's contribution: the instruction
+// dispatch policies that mediate between per-thread renamed-instruction
+// buffers and the shared issue queue.
+//
+//   - InOrder is the traditional SMT baseline: two tag comparators per IQ
+//     entry, program-order dispatch per thread, stalling only on IQ-full.
+//   - TwoOpBlock is the HPCA'06 design the paper revisits: one comparator
+//     per entry; an instruction with two non-ready sources is a
+//     Non-Dispatchable Instruction (NDI) and blocks its whole thread at
+//     the dispatch stage until one source becomes ready.
+//   - TwoOpOOOD is the paper's proposal: same one-comparator queue, but
+//     dispatch within a thread is out of order — Hidden Dispatchable
+//     Instructions (HDIs) behind an NDI enter the IQ ahead of it, while
+//     renaming and ROB/LSQ allocation remain in program order. A
+//     deadlock-avoidance buffer captures the ROB-oldest instruction when
+//     the IQ is full.
+//   - TwoOpOOODFiltered is the idealized ablation of Section 4: HDIs that
+//     directly or transitively depend on a blocked NDI are withheld, at
+//     zero modeled cost.
+package core
+
+import "fmt"
+
+// Policy selects a dispatch policy.
+type Policy uint8
+
+const (
+	// InOrder is the traditional scheduler baseline.
+	InOrder Policy = iota
+	// TwoOpBlock is the basic 2OP_BLOCK design.
+	TwoOpBlock
+	// TwoOpOOOD is 2OP_BLOCK with out-of-order dispatch (the paper's
+	// proposal).
+	TwoOpOOOD
+	// TwoOpOOODFiltered is TwoOpOOOD with idealized NDI-dependence
+	// filtering (ablation only; not a buildable design).
+	TwoOpOOODFiltered
+	// TagElim is a statically partitioned queue in the style of Ernst &
+	// Austin's tag elimination ([5] in the paper): entries with two,
+	// one, and zero comparators coexist; in-order dispatch blocks when
+	// no appropriate entry is available.
+	TagElim
+	// TagElimOOOD applies this paper's out-of-order dispatch to the
+	// tag-elimination queue — the natural generalization of the
+	// proposal to any reduced-comparator scheduler.
+	TagElimOOOD
+)
+
+// String returns the policy's name as used in the paper and the harness.
+func (p Policy) String() string {
+	switch p {
+	case InOrder:
+		return "traditional"
+	case TwoOpBlock:
+		return "2op-block"
+	case TwoOpOOOD:
+		return "2op-ooo-dispatch"
+	case TwoOpOOODFiltered:
+		return "2op-ooo-dispatch-filtered"
+	case TagElim:
+		return "tag-elim"
+	case TagElimOOOD:
+		return "tag-elim-ooo-dispatch"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy converts a name (as printed by String) back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{InOrder, TwoOpBlock, TwoOpOOOD, TwoOpOOODFiltered, TagElim, TagElimOOOD} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown dispatch policy %q", s)
+}
+
+// MaxNonReady returns the number of tag comparators of the policy's
+// largest IQ entry type: two for the traditional scheduler and the
+// tag-elimination partitions, one for the uniform 2OP designs — the
+// hardware saving that motivates 2OP_BLOCK.
+func (p Policy) MaxNonReady() int {
+	switch p {
+	case InOrder, TagElim, TagElimOOOD:
+		return 2
+	}
+	return 1
+}
+
+// Partitioned reports whether the policy uses a mixed-comparator queue.
+func (p Policy) Partitioned() bool { return p == TagElim || p == TagElimOOOD }
+
+// OutOfOrder reports whether the policy dispatches out of program order
+// within a thread.
+func (p Policy) OutOfOrder() bool {
+	return p == TwoOpOOOD || p == TwoOpOOODFiltered || p == TagElimOOOD
+}
+
+// filtered reports whether the policy applies the idealized
+// NDI-dependence filter.
+func (p Policy) filtered() bool { return p == TwoOpOOODFiltered }
+
+// Policies lists the policies in presentation order.
+var Policies = []Policy{InOrder, TwoOpBlock, TwoOpOOOD}

@@ -1,0 +1,121 @@
+package core
+
+import "testing"
+
+func TestPolicyNames(t *testing.T) {
+	want := map[Policy]string{
+		InOrder:           "traditional",
+		TwoOpBlock:        "2op-block",
+		TwoOpOOOD:         "2op-ooo-dispatch",
+		TwoOpOOODFiltered: "2op-ooo-dispatch-filtered",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+		back, err := ParsePolicy(s)
+		if err != nil || back != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParsePolicy("nonsense"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}
+
+func TestPolicyComparators(t *testing.T) {
+	if InOrder.MaxNonReady() != 2 {
+		t.Error("traditional scheduler must support two non-ready sources")
+	}
+	for _, p := range []Policy{TwoOpBlock, TwoOpOOOD, TwoOpOOODFiltered} {
+		if p.MaxNonReady() != 1 {
+			t.Errorf("%v must have one comparator per entry", p)
+		}
+	}
+}
+
+func TestPolicyOutOfOrder(t *testing.T) {
+	if InOrder.OutOfOrder() || TwoOpBlock.OutOfOrder() {
+		t.Error("in-order policies report out-of-order dispatch")
+	}
+	if !TwoOpOOOD.OutOfOrder() || !TwoOpOOODFiltered.OutOfOrder() {
+		t.Error("OOOD policies report in-order dispatch")
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := NewWatchdog(3)
+	if w.Limit() != 3 {
+		t.Fatalf("limit = %d", w.Limit())
+	}
+	// Dispatches keep resetting the countdown.
+	for i := 0; i < 10; i++ {
+		if w.Tick(true) {
+			t.Fatal("watchdog fired despite dispatches")
+		}
+	}
+	// Three idle cycles fire it.
+	if w.Tick(false) || w.Tick(false) {
+		t.Fatal("watchdog fired early")
+	}
+	if !w.Tick(false) {
+		t.Fatal("watchdog did not fire after limit idle cycles")
+	}
+	if w.Expiries != 1 {
+		t.Errorf("expiries = %d", w.Expiries)
+	}
+	// Counter resets after firing.
+	if w.Tick(false) {
+		t.Error("watchdog re-fired immediately")
+	}
+}
+
+func TestDABBasics(t *testing.T) {
+	d := NewDAB(2)
+	if !d.CanInsert() || d.Len() != 0 || d.Cap() != 2 {
+		t.Fatal("fresh DAB state wrong")
+	}
+	a := mkReadyUOp(0)
+	b := mkReadyUOp(1)
+	d.Insert(a)
+	d.Insert(b)
+	if d.CanInsert() {
+		t.Error("CanInsert true at capacity")
+	}
+	if !a.InDAB || !b.InDAB {
+		t.Error("InDAB not set")
+	}
+	d.Remove(a)
+	if a.InDAB || d.Len() != 1 {
+		t.Error("remove did not update state")
+	}
+	if d.Inserts != 2 {
+		t.Errorf("inserts = %d", d.Inserts)
+	}
+}
+
+func TestDABOverflowPanics(t *testing.T) {
+	d := NewDAB(1)
+	d.Insert(mkReadyUOp(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("DAB overflow did not panic")
+		}
+	}()
+	d.Insert(mkReadyUOp(0))
+}
+
+func TestDABDrainThread(t *testing.T) {
+	d := NewDAB(4)
+	a := mkReadyUOp(0)
+	b := mkReadyUOp(1)
+	d.Insert(a)
+	d.Insert(b)
+	out := d.DrainThread(0)
+	if len(out) != 1 || out[0] != a || a.InDAB {
+		t.Error("DrainThread(0) wrong")
+	}
+	if d.Len() != 1 || d.Entries()[0] != b {
+		t.Error("other thread's entry disturbed")
+	}
+}

@@ -1,0 +1,94 @@
+// Package fetch implements the instruction-fetch thread-selection
+// policies. The paper's baseline uses I-Count (Tullsen et al. [16]) with
+// fetching limited to two threads per cycle (ICOUNT.2.8 at an 8-wide
+// machine): threads with the fewest not-yet-executed instructions in the
+// front end and issue queue get priority, which keeps any one thread from
+// clogging the shared queue.
+package fetch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects a fetch thread-selection policy.
+type Policy uint8
+
+const (
+	// ICount is the paper's baseline policy.
+	ICount Policy = iota
+	// RoundRobin rotates through runnable threads, provided as a
+	// reference point for the fetch-policy ablation benchmarks.
+	RoundRobin
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case ICount:
+		return "icount"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("fetch(%d)", uint8(p))
+}
+
+// ParsePolicy converts a name back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{ICount, RoundRobin} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("fetch: unknown fetch policy %q", s)
+}
+
+// Selector orders runnable threads for fetch each cycle.
+type Selector struct {
+	policy  Policy
+	threads int
+	rr      int
+	order   []int
+}
+
+// NewSelector builds a selector over the given number of threads.
+func NewSelector(policy Policy, threads int) *Selector {
+	return &Selector{policy: policy, threads: threads, order: make([]int, 0, threads)}
+}
+
+// Order returns the thread ids to fetch from, highest priority first.
+// runnable reports whether a thread can fetch this cycle; icount supplies
+// each thread's in-flight front-end + IQ instruction count. The returned
+// slice is reused across calls.
+func (s *Selector) Order(runnable func(t int) bool, icount func(t int) int) []int {
+	s.order = s.order[:0]
+	switch s.policy {
+	case RoundRobin:
+		for i := 0; i < s.threads; i++ {
+			t := (s.rr + i) % s.threads
+			if runnable(t) {
+				s.order = append(s.order, t)
+			}
+		}
+		s.rr = (s.rr + 1) % s.threads
+	default: // ICount
+		for t := 0; t < s.threads; t++ {
+			if runnable(t) {
+				s.order = append(s.order, t)
+			}
+		}
+		// Stable ascending sort by icount; ties broken by a rotating
+		// offset so equal-count threads share priority over time.
+		rot := s.rr
+		s.rr = (s.rr + 1) % s.threads
+		sort.SliceStable(s.order, func(i, j int) bool {
+			a, b := s.order[i], s.order[j]
+			ca, cb := icount(a), icount(b)
+			if ca != cb {
+				return ca < cb
+			}
+			return (a+s.threads-rot)%s.threads < (b+s.threads-rot)%s.threads
+		})
+	}
+	return s.order
+}

@@ -1,0 +1,73 @@
+package fetch
+
+import (
+	"testing"
+)
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{ICount, RoundRobin} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip of %v failed: %v, %v", p, back, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestICountOrdersByCount(t *testing.T) {
+	s := NewSelector(ICount, 3)
+	counts := []int{10, 2, 5}
+	order := s.Order(func(int) bool { return true }, func(t int) int { return counts[t] })
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", order)
+	}
+}
+
+func TestICountSkipsUnrunnable(t *testing.T) {
+	s := NewSelector(ICount, 3)
+	order := s.Order(func(t int) bool { return t != 1 }, func(int) int { return 0 })
+	for _, t2 := range order {
+		if t2 == 1 {
+			t.Error("unrunnable thread selected")
+		}
+	}
+	if len(order) != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestICountTieRotation(t *testing.T) {
+	s := NewSelector(ICount, 2)
+	first := map[int]int{}
+	for i := 0; i < 10; i++ {
+		order := s.Order(func(int) bool { return true }, func(int) int { return 0 })
+		first[order[0]]++
+	}
+	if first[0] == 0 || first[1] == 0 {
+		t.Errorf("tie-breaking starved a thread: %v", first)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	s := NewSelector(RoundRobin, 3)
+	lead := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		order := s.Order(func(int) bool { return true }, func(int) int { return 0 })
+		lead[order[0]] = true
+		if len(order) != 3 {
+			t.Fatalf("order %v", order)
+		}
+	}
+	if len(lead) != 3 {
+		t.Errorf("round robin lead set %v, want all threads", lead)
+	}
+}
+
+func TestEmptyRunnableSet(t *testing.T) {
+	s := NewSelector(ICount, 4)
+	if got := s.Order(func(int) bool { return false }, func(int) int { return 0 }); len(got) != 0 {
+		t.Errorf("order = %v, want empty", got)
+	}
+}

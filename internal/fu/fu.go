@@ -1,0 +1,131 @@
+// Package fu models the functional-unit pools of Table 1: 8 integer ALUs
+// (which also resolve branches), 4 integer multiply/divide units, 4
+// load/store ports, 8 floating-point adders, and 4 floating-point
+// multiply/divide/sqrt units. Pipelined operations have an initiation
+// interval of one cycle; divides and square roots occupy their unit for
+// their full issue interval (isa.IssueInterval).
+package fu
+
+import (
+	"fmt"
+
+	"smtsim/internal/isa"
+)
+
+// Pool is one class of identical functional units, tracked as per-unit
+// next-free cycles.
+type Pool struct {
+	name   string
+	freeAt []int64
+}
+
+// newPool builds a pool of n units, all free at cycle 0.
+func newPool(name string, n int) *Pool {
+	return &Pool{name: name, freeAt: make([]int64, n)}
+}
+
+// tryReserve finds a unit free at cycle and occupies it for busy cycles.
+func (p *Pool) tryReserve(cycle int64, busy int) bool {
+	for i := range p.freeAt {
+		if p.freeAt[i] <= cycle {
+			p.freeAt[i] = cycle + int64(busy)
+			return true
+		}
+	}
+	return false
+}
+
+// available counts units free at the given cycle.
+func (p *Pool) available(cycle int64) int {
+	n := 0
+	for _, f := range p.freeAt {
+		if f <= cycle {
+			n++
+		}
+	}
+	return n
+}
+
+// poolID distinguishes the five Table 1 pools.
+type poolID uint8
+
+const (
+	poolIntAlu poolID = iota
+	poolIntMult
+	poolMem
+	poolFpAdd
+	poolFpMult
+	numPools
+)
+
+// poolOf maps each op class to the pool that executes it.
+var poolOf = [isa.NumOpClasses]poolID{
+	isa.Nop:     poolIntAlu,
+	isa.IntAlu:  poolIntAlu,
+	isa.Branch:  poolIntAlu,
+	isa.IntMult: poolIntMult,
+	isa.IntDiv:  poolIntMult,
+	isa.Load:    poolMem,
+	isa.Store:   poolMem,
+	isa.FpAdd:   poolFpAdd,
+	isa.FpMult:  poolFpMult,
+	isa.FpDiv:   poolFpMult,
+	isa.FpSqrt:  poolFpMult,
+}
+
+// Config sets the number of units per pool.
+type Config struct {
+	IntAlu, IntMult, Mem, FpAdd, FpMult int
+}
+
+// DefaultConfig is the Table 1 unit inventory.
+func DefaultConfig() Config {
+	return Config{IntAlu: 8, IntMult: 4, Mem: 4, FpAdd: 8, FpMult: 4}
+}
+
+// Pools is the complete execution-unit inventory.
+type Pools struct {
+	pools [numPools]*Pool
+}
+
+// New builds the pools from cfg.
+func New(cfg Config) (*Pools, error) {
+	counts := map[string]int{
+		"int-alu": cfg.IntAlu, "int-mult": cfg.IntMult, "mem": cfg.Mem,
+		"fp-add": cfg.FpAdd, "fp-mult": cfg.FpMult,
+	}
+	for name, n := range counts {
+		if n <= 0 {
+			return nil, fmt.Errorf("fu: pool %s must have at least one unit, got %d", name, n)
+		}
+	}
+	return &Pools{pools: [numPools]*Pool{
+		poolIntAlu:  newPool("int-alu", cfg.IntAlu),
+		poolIntMult: newPool("int-mult", cfg.IntMult),
+		poolMem:     newPool("mem", cfg.Mem),
+		poolFpAdd:   newPool("fp-add", cfg.FpAdd),
+		poolFpMult:  newPool("fp-mult", cfg.FpMult),
+	}}, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(cfg Config) *Pools {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryIssue attempts to reserve a unit for an operation of the given class
+// starting at cycle. It returns false when every unit in the class's pool
+// is busy (structural hazard); the instruction then retries next cycle.
+func (ps *Pools) TryIssue(class isa.OpClass, cycle int64) bool {
+	return ps.pools[poolOf[class]].tryReserve(cycle, isa.IssueInterval[class])
+}
+
+// Available returns the number of free units for a class at cycle, for
+// tests and occupancy statistics.
+func (ps *Pools) Available(class isa.OpClass, cycle int64) int {
+	return ps.pools[poolOf[class]].available(cycle)
+}

@@ -1,0 +1,108 @@
+package fu
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+)
+
+func TestDefaultInventory(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.IntAlu != 8 || cfg.IntMult != 4 || cfg.Mem != 4 || cfg.FpAdd != 8 || cfg.FpMult != 4 {
+		t.Errorf("default inventory %+v does not match Table 1", cfg)
+	}
+}
+
+func TestRejectsEmptyPool(t *testing.T) {
+	if _, err := New(Config{IntAlu: 8, IntMult: 0, Mem: 4, FpAdd: 8, FpMult: 4}); err == nil {
+		t.Error("zero-unit pool accepted")
+	}
+}
+
+func TestPipelinedPoolIssuesEveryCycle(t *testing.T) {
+	ps := MustNew(DefaultConfig())
+	// 8 int ALUs: exactly 8 issues per cycle.
+	for cyc := int64(1); cyc <= 3; cyc++ {
+		n := 0
+		for ps.TryIssue(isa.IntAlu, cyc) {
+			n++
+			if n > 8 {
+				break
+			}
+		}
+		if n != 8 {
+			t.Fatalf("cycle %d: issued %d int-alu, want 8", cyc, n)
+		}
+	}
+}
+
+func TestBranchesShareIntAluPool(t *testing.T) {
+	ps := MustNew(DefaultConfig())
+	for i := 0; i < 4; i++ {
+		if !ps.TryIssue(isa.Branch, 1) {
+			t.Fatal("branch rejected with free ALUs")
+		}
+	}
+	if got := ps.Available(isa.IntAlu, 1); got != 4 {
+		t.Errorf("branches did not consume ALUs: %d available, want 4", got)
+	}
+}
+
+func TestUnpipelinedDivideOccupiesUnit(t *testing.T) {
+	ps := MustNew(Config{IntAlu: 1, IntMult: 1, Mem: 1, FpAdd: 1, FpMult: 1})
+	if !ps.TryIssue(isa.IntDiv, 1) {
+		t.Fatal("divide rejected on idle unit")
+	}
+	// The single int-mult/div unit is busy for IssueInterval (19) cycles.
+	if ps.TryIssue(isa.IntMult, 2) {
+		t.Error("multiply issued on busy divide unit")
+	}
+	if ps.TryIssue(isa.IntDiv, 19) {
+		t.Error("divide issued before unit freed")
+	}
+	if !ps.TryIssue(isa.IntMult, 20) {
+		t.Error("unit not freed after issue interval")
+	}
+}
+
+func TestFpPoolsIndependent(t *testing.T) {
+	ps := MustNew(Config{IntAlu: 1, IntMult: 1, Mem: 1, FpAdd: 1, FpMult: 1})
+	if !ps.TryIssue(isa.FpSqrt, 1) {
+		t.Fatal("sqrt rejected")
+	}
+	// Sqrt ties up the fp-mult pool but not fp-add.
+	if ps.TryIssue(isa.FpMult, 2) || ps.TryIssue(isa.FpDiv, 2) {
+		t.Error("fp mult/div issued on busy sqrt unit")
+	}
+	if !ps.TryIssue(isa.FpAdd, 2) {
+		t.Error("fp-add pool affected by sqrt")
+	}
+}
+
+func TestMemPortsLimitLoadsAndStores(t *testing.T) {
+	ps := MustNew(DefaultConfig())
+	n := 0
+	for ps.TryIssue(isa.Load, 1) || ps.TryIssue(isa.Store, 1) {
+		n++
+		if n > 4 {
+			break
+		}
+	}
+	if n != 4 {
+		t.Errorf("issued %d memory ops in one cycle, want 4", n)
+	}
+}
+
+func TestAvailableCounts(t *testing.T) {
+	ps := MustNew(DefaultConfig())
+	if got := ps.Available(isa.FpAdd, 1); got != 8 {
+		t.Errorf("fp-add available = %d, want 8", got)
+	}
+	ps.TryIssue(isa.FpAdd, 1)
+	if got := ps.Available(isa.FpAdd, 1); got != 7 {
+		t.Errorf("fp-add available after issue = %d, want 7", got)
+	}
+	if got := ps.Available(isa.FpAdd, 2); got != 8 {
+		t.Errorf("pipelined unit not free next cycle: %d", got)
+	}
+}

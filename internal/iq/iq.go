@@ -1,0 +1,289 @@
+// Package iq implements the shared issue queue (scheduler) of the SMT
+// machine: a bounded pool of entries holding dispatched instructions
+// until their source operands are ready and a functional unit accepts
+// them, with oldest-first selection up to the issue width.
+//
+// Entries are typed by their tag-comparator count. The paper's designs
+// are uniform queues — two comparators per entry (traditional) or one
+// (the 2OP designs) — but the queue also supports mixed partitions in
+// the style of Ernst & Austin's tag elimination ([5] in the paper):
+// some entries with two comparators, some with one, some with none. An
+// instruction with n non-ready sources needs an entry with at least n
+// comparators; Insert allocates the smallest sufficient class so scarce
+// big entries stay available.
+//
+// Behaviour inside the queue is identical across entry types; the
+// designs differ in what the dispatch stage may send (package core).
+package iq
+
+import (
+	"fmt"
+	"sort"
+
+	"smtsim/internal/regfile"
+	"smtsim/internal/uop"
+)
+
+// NumClasses is the number of comparator classes (0, 1, and 2).
+const NumClasses = 3
+
+// Partition sets the number of entries per comparator class:
+// Partition[k] entries can hold instructions with up to k non-ready
+// source operands.
+type Partition [NumClasses]int
+
+// Total returns the queue capacity the partition implies.
+func (p Partition) Total() int { return p[0] + p[1] + p[2] }
+
+// Uniform returns a partition with all capacity in one class.
+func Uniform(capacity, comparators int) Partition {
+	var p Partition
+	p[comparators] = capacity
+	return p
+}
+
+// Queue is the shared issue queue.
+type Queue struct {
+	part      Partition
+	used      [NumClasses]int
+	entries   []*uop.UOp
+	perThread []int
+
+	// Statistics.
+	Inserts      uint64
+	occupancySum uint64
+	samples      uint64
+}
+
+// New builds a uniform queue with the given number of entries, each with
+// maxNonReady tag comparators: 2 for the traditional scheduler, 1 for
+// the 2OP designs.
+func New(capacity, maxNonReady, threads int) *Queue {
+	if capacity <= 0 {
+		panic("iq: capacity must be positive")
+	}
+	if maxNonReady < 0 || maxNonReady >= NumClasses {
+		panic("iq: maxNonReady must be 0..2")
+	}
+	return NewPartitioned(Uniform(capacity, maxNonReady), threads)
+}
+
+// NewPartitioned builds a queue with typed entries.
+func NewPartitioned(part Partition, threads int) *Queue {
+	if part.Total() <= 0 {
+		panic("iq: empty partition")
+	}
+	for _, n := range part {
+		if n < 0 {
+			panic("iq: negative partition class")
+		}
+	}
+	return &Queue{
+		part:      part,
+		entries:   make([]*uop.UOp, 0, part.Total()),
+		perThread: make([]int, threads),
+	}
+}
+
+// Cap returns the total number of entries.
+func (q *Queue) Cap() int { return q.part.Total() }
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Free returns the total number of unoccupied entries of any class.
+func (q *Queue) Free() int { return q.Cap() - len(q.entries) }
+
+// Partition returns the entry-type configuration.
+func (q *Queue) Partition() Partition { return q.part }
+
+// MaxNonReady returns the largest comparator count any entry has.
+func (q *Queue) MaxNonReady() int {
+	for k := NumClasses - 1; k >= 0; k-- {
+		if q.part[k] > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// ClassSupported reports whether the queue has any entries (occupied or
+// not) with at least n comparators: an instruction with n non-ready
+// sources can never dispatch into a queue that does not support its
+// class — the static NDI condition of the 2OP designs.
+func (q *Queue) ClassSupported(n int) bool {
+	for k := n; k < NumClasses; k++ {
+		if q.part[k] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanAccept reports whether a free entry with at least n comparators
+// exists right now — the paper's Dispatchable Instruction condition
+// ("an appropriate IQ entry is also available").
+func (q *Queue) CanAccept(n int) bool {
+	if n < 0 {
+		n = 0
+	}
+	for k := n; k < NumClasses; k++ {
+		if q.used[k] < q.part[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassUsed returns the occupancy of one comparator class (for tests).
+func (q *Queue) ClassUsed(k int) int { return q.used[k] }
+
+// ThreadCount returns the occupancy attributed to thread t (feeds the
+// ICOUNT fetch policy).
+func (q *Queue) ThreadCount(t int) int { return q.perThread[t] }
+
+// Insert places a dispatched instruction into the smallest free entry
+// class that fits its current non-ready source count. It panics if no
+// suitable entry is available — the dispatch policies gate on CanAccept,
+// so a violation is a policy bug (hunted by the property tests).
+func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
+	n := u.NumSrcNotReady(rf)
+	for k := n; k < NumClasses; k++ {
+		if q.used[k] < q.part[k] {
+			q.used[k]++
+			u.IQClass = int8(k)
+			u.InIQ = true
+			q.entries = append(q.entries, u)
+			q.perThread[u.Thread]++
+			q.Inserts++
+			return
+		}
+	}
+	panic(fmt.Sprintf("iq: thread %d inst %#x has %d non-ready sources and no suitable free entry",
+		u.Thread, u.Inst.PC, n))
+}
+
+// Remove extracts u from the queue (at issue or squash).
+func (q *Queue) Remove(u *uop.UOp) {
+	for i, e := range q.entries {
+		if e == u {
+			q.entries[i] = q.entries[len(q.entries)-1]
+			q.entries = q.entries[:len(q.entries)-1]
+			q.perThread[u.Thread]--
+			q.used[u.IQClass]--
+			u.InIQ = false
+			return
+		}
+	}
+	panic("iq: remove of absent entry")
+}
+
+// SelectPolicy orders the ready instructions competing for issue slots.
+type SelectPolicy uint8
+
+const (
+	// OldestFirst issues by global age, the conventional heuristic and
+	// the paper's select policy.
+	OldestFirst SelectPolicy = iota
+	// ThreadRotate rotates which thread's instructions get priority each
+	// cycle (age-ordered within a thread) — a cheap position-style
+	// arbiter in the spirit of the partitioned issue of related work.
+	ThreadRotate
+)
+
+// String names the policy.
+func (p SelectPolicy) String() string {
+	if p == ThreadRotate {
+		return "thread-rotate"
+	}
+	return "oldest-first"
+}
+
+// ReadyOldestFirst returns the instructions whose sources are all ready,
+// sorted oldest-first by global rename order — the default select
+// policy. The returned slice is valid until the next call.
+func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []*uop.UOp) []*uop.UOp {
+	return q.ReadyOrdered(rf, scratch, OldestFirst, 0)
+}
+
+// ReadyOrdered returns the ready instructions in the order the given
+// select policy would grant them issue slots; tick (typically the cycle
+// number) seeds rotating policies. The returned slice is valid until the
+// next call.
+func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPolicy, tick int64) []*uop.UOp {
+	ready := scratch[:0]
+	for _, u := range q.entries {
+		if u.SrcsReady(rf) {
+			ready = append(ready, u)
+		}
+	}
+	switch pol {
+	case ThreadRotate:
+		n := len(q.perThread)
+		if n == 0 {
+			n = 1
+		}
+		first := int(tick % int64(n))
+		sort.Slice(ready, func(i, j int) bool {
+			a := (ready[i].Thread - first + n) % n
+			b := (ready[j].Thread - first + n) % n
+			if a != b {
+				return a < b
+			}
+			return ready[i].GSeq < ready[j].GSeq
+		})
+	default:
+		sort.Slice(ready, func(i, j int) bool { return ready[i].GSeq < ready[j].GSeq })
+	}
+	return ready
+}
+
+// DrainThread removes and returns every entry belonging to thread t
+// (watchdog flush path).
+func (q *Queue) DrainThread(t int) []*uop.UOp {
+	var out []*uop.UOp
+	kept := q.entries[:0]
+	for _, u := range q.entries {
+		if u.Thread == t {
+			u.InIQ = false
+			q.used[u.IQClass]--
+			out = append(out, u)
+		} else {
+			kept = append(kept, u)
+		}
+	}
+	// Clear the tail so drained pointers are not retained.
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	q.perThread[t] = 0
+	return out
+}
+
+// Sample accumulates an occupancy observation; call once per cycle.
+func (q *Queue) Sample() {
+	q.occupancySum += uint64(len(q.entries))
+	q.samples++
+}
+
+// ResetStats clears the sampling counters without touching queue
+// contents, for measurement after a warmup period.
+func (q *Queue) ResetStats() {
+	q.Inserts, q.occupancySum, q.samples = 0, 0, 0
+}
+
+// MeanOccupancy returns the average sampled occupancy.
+func (q *Queue) MeanOccupancy() float64 {
+	if q.samples == 0 {
+		return 0
+	}
+	return float64(q.occupancySum) / float64(q.samples)
+}
+
+// ForEach visits all entries in arbitrary order.
+func (q *Queue) ForEach(fn func(*uop.UOp)) {
+	for _, u := range q.entries {
+		fn(u)
+	}
+}

@@ -1,0 +1,187 @@
+package iq
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/regfile"
+	"smtsim/internal/uop"
+)
+
+// env bundles a register file and helpers for building queue entries.
+type env struct {
+	rf  *regfile.File
+	seq uint64
+}
+
+func newEnv() *env { return &env{rf: regfile.New(64, 64)} }
+
+// mkUOp builds a UOp with n non-ready sources (0..2) for thread t.
+func (e *env) mkUOp(t, nonReady int) *uop.UOp {
+	e.seq++
+	u := &uop.UOp{Thread: t, GSeq: e.seq}
+	u.Srcs[0], u.Srcs[1] = regfile.NoPhys, regfile.NoPhys
+	for i := 0; i < nonReady; i++ {
+		u.Srcs[i] = e.rf.Alloc(isa.IntReg) // allocated, not ready
+	}
+	for i := nonReady; i < 2; i++ {
+		p := e.rf.Alloc(isa.IntReg)
+		e.rf.SetReady(p)
+		u.Srcs[i] = p
+	}
+	return u
+}
+
+func TestInsertRemoveOccupancy(t *testing.T) {
+	e := newEnv()
+	q := New(4, 2, 2)
+	u := e.mkUOp(1, 1)
+	q.Insert(u, e.rf)
+	if q.Len() != 1 || q.Free() != 3 || !u.InIQ {
+		t.Fatalf("occupancy wrong after insert: len=%d free=%d", q.Len(), q.Free())
+	}
+	if q.ThreadCount(1) != 1 || q.ThreadCount(0) != 0 {
+		t.Error("per-thread accounting wrong")
+	}
+	q.Remove(u)
+	if q.Len() != 0 || u.InIQ {
+		t.Error("remove did not clear state")
+	}
+}
+
+func TestInsertFullPanics(t *testing.T) {
+	e := newEnv()
+	q := New(1, 2, 1)
+	q.Insert(e.mkUOp(0, 0), e.rf)
+	defer func() {
+		if recover() == nil {
+			t.Error("insert into full queue did not panic")
+		}
+	}()
+	q.Insert(e.mkUOp(0, 0), e.rf)
+}
+
+func TestComparatorInvariantEnforced(t *testing.T) {
+	e := newEnv()
+	q := New(4, 1, 1) // one comparator per entry (2OP queue)
+	q.Insert(e.mkUOp(0, 1), e.rf)
+	defer func() {
+		if recover() == nil {
+			t.Error("two-non-ready insert into 1-comparator queue did not panic")
+		}
+	}()
+	q.Insert(e.mkUOp(0, 2), e.rf)
+}
+
+func TestReadyOldestFirst(t *testing.T) {
+	e := newEnv()
+	q := New(8, 2, 1)
+	ready1 := e.mkUOp(0, 0)
+	waiting := e.mkUOp(0, 1)
+	ready2 := e.mkUOp(0, 0)
+	// Insert out of age order to exercise the sort.
+	q.Insert(ready2, e.rf)
+	q.Insert(waiting, e.rf)
+	q.Insert(ready1, e.rf)
+
+	got := q.ReadyOldestFirst(e.rf, nil)
+	if len(got) != 2 || got[0] != ready1 || got[1] != ready2 {
+		t.Fatalf("ready set wrong: %v", got)
+	}
+
+	// Wake the waiter: it must appear, ordered by age.
+	e.rf.SetReady(waiting.Srcs[0])
+	got = q.ReadyOldestFirst(e.rf, got)
+	if len(got) != 3 || got[1] != waiting {
+		t.Fatalf("woken instruction misplaced: %v", got)
+	}
+}
+
+func TestDrainThread(t *testing.T) {
+	e := newEnv()
+	q := New(8, 2, 2)
+	a0 := e.mkUOp(0, 0)
+	b0 := e.mkUOp(1, 0)
+	a1 := e.mkUOp(0, 1)
+	for _, u := range []*uop.UOp{a0, b0, a1} {
+		q.Insert(u, e.rf)
+	}
+	drained := q.DrainThread(0)
+	if len(drained) != 2 {
+		t.Fatalf("drained %d entries, want 2", len(drained))
+	}
+	for _, u := range drained {
+		if u.Thread != 0 || u.InIQ {
+			t.Errorf("drained entry %+v in bad state", u)
+		}
+	}
+	if q.Len() != 1 || q.ThreadCount(0) != 0 || q.ThreadCount(1) != 1 {
+		t.Error("thread-1 entry disturbed by drain")
+	}
+}
+
+func TestRemoveAbsentPanics(t *testing.T) {
+	e := newEnv()
+	q := New(4, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("remove of absent entry did not panic")
+		}
+	}()
+	q.Remove(e.mkUOp(0, 0))
+}
+
+func TestOccupancySampling(t *testing.T) {
+	e := newEnv()
+	q := New(4, 2, 1)
+	q.Sample() // 0
+	q.Insert(e.mkUOp(0, 0), e.rf)
+	q.Sample() // 1
+	q.Insert(e.mkUOp(0, 0), e.rf)
+	q.Sample() // 2
+	if got := q.MeanOccupancy(); got != 1.0 {
+		t.Errorf("mean occupancy = %v, want 1.0", got)
+	}
+	if q.Inserts != 2 {
+		t.Errorf("inserts = %d, want 2", q.Inserts)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	e := newEnv()
+	q := New(4, 2, 1)
+	q.Insert(e.mkUOp(0, 0), e.rf)
+	q.Insert(e.mkUOp(0, 1), e.rf)
+	n := 0
+	q.ForEach(func(u *uop.UOp) { n++ })
+	if n != 2 {
+		t.Errorf("ForEach visited %d, want 2", n)
+	}
+}
+
+func TestThreadRotateSelect(t *testing.T) {
+	e := newEnv()
+	q := New(8, 2, 2)
+	a0 := e.mkUOp(0, 0) // oldest overall
+	b0 := e.mkUOp(1, 0)
+	a1 := e.mkUOp(0, 0)
+	for _, u := range []*uop.UOp{a0, b0, a1} {
+		q.Insert(u, e.rf)
+	}
+	// tick 0: thread 0 first (age order within), then thread 1.
+	got := q.ReadyOrdered(e.rf, nil, ThreadRotate, 0)
+	if got[0] != a0 || got[1] != a1 || got[2] != b0 {
+		t.Errorf("tick 0 order wrong: %v", got)
+	}
+	// tick 1: thread 1 first.
+	got = q.ReadyOrdered(e.rf, nil, ThreadRotate, 1)
+	if got[0] != b0 || got[1] != a0 {
+		t.Errorf("tick 1 order wrong: %v", got)
+	}
+}
+
+func TestSelectPolicyNames(t *testing.T) {
+	if OldestFirst.String() != "oldest-first" || ThreadRotate.String() != "thread-rotate" {
+		t.Error("select policy names wrong")
+	}
+}

@@ -1,0 +1,230 @@
+// Package isa defines the instruction model used throughout the simulator:
+// operation classes, architectural registers, and dynamic instruction
+// records as produced by the synthetic workload generator and consumed by
+// the pipeline.
+//
+// The model follows the paper's assumption of an ISA with at most two
+// source register operands and at most one destination register operand
+// per instruction (Alpha-like), which is what makes the 2OP_BLOCK
+// one-comparator issue-queue entry meaningful.
+package isa
+
+import "fmt"
+
+// OpClass enumerates the operation classes distinguished by the simulated
+// machine. Each class maps to a functional-unit pool and a latency
+// (see Table 1 of the paper).
+type OpClass uint8
+
+const (
+	// Nop performs no computation and writes no register.
+	Nop OpClass = iota
+	// IntAlu is a single-cycle integer operation (add, logical, shift, compare).
+	IntAlu
+	// IntMult is a pipelined 3-cycle integer multiply.
+	IntMult
+	// IntDiv is an unpipelined 20-cycle integer divide.
+	IntDiv
+	// Load reads memory through the L1 data cache.
+	Load
+	// Store writes memory; the value retires to the cache at commit.
+	Store
+	// FpAdd is a pipelined 2-cycle floating-point add/subtract/convert.
+	FpAdd
+	// FpMult is a pipelined 4-cycle floating-point multiply.
+	FpMult
+	// FpDiv is an unpipelined 12-cycle floating-point divide.
+	FpDiv
+	// FpSqrt is an unpipelined 24-cycle floating-point square root.
+	FpSqrt
+	// Branch is a conditional or unconditional control transfer resolved
+	// on an integer ALU.
+	Branch
+	// NumOpClasses is the number of distinct operation classes.
+	NumOpClasses = iota
+)
+
+var opClassNames = [NumOpClasses]string{
+	"nop", "int-alu", "int-mult", "int-div", "load", "store",
+	"fp-add", "fp-mult", "fp-div", "fp-sqrt", "branch",
+}
+
+// String returns the lower-case mnemonic name of the class.
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("opclass(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c OpClass) IsMem() bool { return c == Load || c == Store }
+
+// IsFloat reports whether the class reads/writes floating-point registers.
+func (c OpClass) IsFloat() bool {
+	switch c {
+	case FpAdd, FpMult, FpDiv, FpSqrt:
+		return true
+	}
+	return false
+}
+
+// RegClass identifies one of the two architectural/physical register files.
+type RegClass uint8
+
+const (
+	// IntReg selects the integer register file.
+	IntReg RegClass = iota
+	// FpReg selects the floating-point register file.
+	FpReg
+	// NumRegClasses is the number of register classes.
+	NumRegClasses = iota
+)
+
+// String returns "int" or "fp".
+func (rc RegClass) String() string {
+	if rc == IntReg {
+		return "int"
+	}
+	return "fp"
+}
+
+// NumArchRegs is the number of architectural registers per class per
+// thread (Alpha has 32 integer and 32 floating-point registers).
+const NumArchRegs = 32
+
+// InvalidReg marks an absent register operand.
+const InvalidReg int8 = -1
+
+// Reg is an architectural register reference: a class and an index in
+// [0, NumArchRegs). A Reg with Index == InvalidReg denotes "no operand".
+type Reg struct {
+	Class RegClass
+	Index int8
+}
+
+// NoReg is the absent-operand sentinel.
+var NoReg = Reg{Class: IntReg, Index: InvalidReg}
+
+// Valid reports whether the register reference names a real register.
+func (r Reg) Valid() bool { return r.Index >= 0 }
+
+// String formats the register as e.g. "r7" or "f12", or "-" if absent.
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	if r.Class == IntReg {
+		return fmt.Sprintf("r%d", r.Index)
+	}
+	return fmt.Sprintf("f%d", r.Index)
+}
+
+// Int returns an integer register reference.
+func Int(i int) Reg { return Reg{Class: IntReg, Index: int8(i)} }
+
+// Fp returns a floating-point register reference.
+func Fp(i int) Reg { return Reg{Class: FpReg, Index: int8(i)} }
+
+// MaxSources is the maximum number of register source operands of any
+// instruction, fixed at two by the modeled ISA.
+const MaxSources = 2
+
+// Inst is one dynamic instruction as it leaves the workload generator.
+// The pipeline wraps it in its own micro-op bookkeeping structure; Inst
+// itself stays immutable once generated.
+type Inst struct {
+	// PC is the (synthetic) address of the instruction. Consecutive
+	// static instructions are 4 bytes apart, as on Alpha.
+	PC uint64
+
+	// Class is the operation class.
+	Class OpClass
+
+	// Src holds up to two source register operands; absent operands are
+	// NoReg. For stores, Src[0] is the data register and Src[1] (if
+	// valid) feeds the address; for loads Src[0] feeds the address.
+	Src [MaxSources]Reg
+
+	// Dest is the destination register, or NoReg (stores, branches, nops).
+	Dest Reg
+
+	// Addr is the effective data address for loads and stores.
+	Addr uint64
+
+	// Taken reports the branch outcome for Class == Branch.
+	Taken bool
+
+	// Target is the branch target address for Class == Branch.
+	Target uint64
+
+	// Seq is the per-thread program-order sequence number, starting at 0.
+	Seq uint64
+}
+
+// NumSources returns the number of valid source operands.
+func (in *Inst) NumSources() int {
+	n := 0
+	for _, s := range in.Src {
+		if s.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// HasDest reports whether the instruction writes a register.
+func (in *Inst) HasDest() bool { return in.Dest.Valid() }
+
+// String renders a compact human-readable form, for debugging and traces.
+func (in *Inst) String() string {
+	switch in.Class {
+	case Branch:
+		dir := "nt"
+		if in.Taken {
+			dir = "t"
+		}
+		return fmt.Sprintf("%#x: branch %s,%s -> %#x (%s)", in.PC, in.Src[0], in.Src[1], in.Target, dir)
+	case Load:
+		return fmt.Sprintf("%#x: load %s <- [%#x](%s)", in.PC, in.Dest, in.Addr, in.Src[0])
+	case Store:
+		return fmt.Sprintf("%#x: store %s -> [%#x](%s)", in.PC, in.Src[0], in.Addr, in.Src[1])
+	default:
+		return fmt.Sprintf("%#x: %s %s <- %s,%s", in.PC, in.Class, in.Dest, in.Src[0], in.Src[1])
+	}
+}
+
+// Latency is the execution latency in cycles of each operation class
+// (Table 1: "Function Units and Lat (total/issue)"). Loads use the cache
+// hierarchy on top of their 2-cycle pipeline access (L1 hit time is
+// folded into the 2-cycle latency, matching the table's Load/Store 2/1).
+var Latency = [NumOpClasses]int{
+	Nop:     1,
+	IntAlu:  1,
+	IntMult: 3,
+	IntDiv:  20,
+	Load:    2,
+	Store:   1,
+	FpAdd:   2,
+	FpMult:  4,
+	FpDiv:   12,
+	FpSqrt:  24,
+	Branch:  1,
+}
+
+// IssueInterval is the initiation interval of each class: 1 for fully
+// pipelined units, equal to the latency for unpipelined ones (Table 1
+// lists Int Div 20/19, FP Div 12/12, FP Sqrt 24/24).
+var IssueInterval = [NumOpClasses]int{
+	Nop:     1,
+	IntAlu:  1,
+	IntMult: 1,
+	IntDiv:  19,
+	Load:    1,
+	Store:   1,
+	FpAdd:   1,
+	FpMult:  1,
+	FpDiv:   12,
+	FpSqrt:  24,
+	Branch:  1,
+}

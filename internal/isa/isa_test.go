@@ -1,0 +1,124 @@
+package isa
+
+import "testing"
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		Nop: "nop", IntAlu: "int-alu", IntMult: "int-mult", IntDiv: "int-div",
+		Load: "load", Store: "store", FpAdd: "fp-add", FpMult: "fp-mult",
+		FpDiv: "fp-div", FpSqrt: "fp-sqrt", Branch: "branch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("OpClass(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := OpClass(200).String(); got != "opclass(200)" {
+		t.Errorf("unknown class formatted as %q", got)
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	for _, c := range []OpClass{Load, Store} {
+		if !c.IsMem() {
+			t.Errorf("%v.IsMem() = false", c)
+		}
+	}
+	for _, c := range []OpClass{Nop, IntAlu, IntMult, IntDiv, FpAdd, FpMult, FpDiv, FpSqrt, Branch} {
+		if c.IsMem() {
+			t.Errorf("%v.IsMem() = true", c)
+		}
+	}
+	for _, c := range []OpClass{FpAdd, FpMult, FpDiv, FpSqrt} {
+		if !c.IsFloat() {
+			t.Errorf("%v.IsFloat() = false", c)
+		}
+	}
+	for _, c := range []OpClass{IntAlu, Load, Store, Branch} {
+		if c.IsFloat() {
+			t.Errorf("%v.IsFloat() = true", c)
+		}
+	}
+}
+
+func TestRegHelpers(t *testing.T) {
+	r := Int(7)
+	if !r.Valid() || r.Class != IntReg || r.Index != 7 {
+		t.Errorf("Int(7) = %+v", r)
+	}
+	if r.String() != "r7" {
+		t.Errorf("Int(7).String() = %q", r.String())
+	}
+	f := Fp(12)
+	if f.String() != "f12" {
+		t.Errorf("Fp(12).String() = %q", f.String())
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg reported valid")
+	}
+	if NoReg.String() != "-" {
+		t.Errorf("NoReg.String() = %q", NoReg.String())
+	}
+}
+
+func TestNumSourcesAndDest(t *testing.T) {
+	in := Inst{Class: IntAlu, Src: [MaxSources]Reg{Int(1), Int(2)}, Dest: Int(3)}
+	if in.NumSources() != 2 || !in.HasDest() {
+		t.Errorf("two-source inst misreported: %d sources, dest=%v", in.NumSources(), in.HasDest())
+	}
+	in = Inst{Class: Branch, Src: [MaxSources]Reg{Int(1), NoReg}, Dest: NoReg}
+	if in.NumSources() != 1 || in.HasDest() {
+		t.Errorf("branch misreported: %d sources, dest=%v", in.NumSources(), in.HasDest())
+	}
+}
+
+func TestLatencyTables(t *testing.T) {
+	// Table 1 latencies must be encoded exactly.
+	want := map[OpClass]int{
+		IntAlu: 1, IntMult: 3, IntDiv: 20, Load: 2, Store: 1,
+		FpAdd: 2, FpMult: 4, FpDiv: 12, FpSqrt: 24, Branch: 1,
+	}
+	for c, lat := range want {
+		if Latency[c] != lat {
+			t.Errorf("Latency[%v] = %d, want %d", c, Latency[c], lat)
+		}
+	}
+	// Unpipelined units occupy their unit for (nearly) the full latency.
+	if IssueInterval[IntDiv] != 19 || IssueInterval[FpDiv] != 12 || IssueInterval[FpSqrt] != 24 {
+		t.Errorf("unpipelined issue intervals wrong: %d %d %d",
+			IssueInterval[IntDiv], IssueInterval[FpDiv], IssueInterval[FpSqrt])
+	}
+	// Pipelined classes initiate every cycle.
+	for _, c := range []OpClass{IntAlu, IntMult, Load, Store, FpAdd, FpMult, Branch} {
+		if IssueInterval[c] != 1 {
+			t.Errorf("IssueInterval[%v] = %d, want 1", c, IssueInterval[c])
+		}
+	}
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if Latency[c] < 1 {
+			t.Errorf("Latency[%v] = %d < 1", c, Latency[c])
+		}
+		if IssueInterval[c] < 1 || IssueInterval[c] > Latency[c] {
+			t.Errorf("IssueInterval[%v] = %d outside [1, %d]", c, IssueInterval[c], Latency[c])
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	br := Inst{PC: 0x1000, Class: Branch, Src: [MaxSources]Reg{Int(1), NoReg}, Taken: true, Target: 0x2000}
+	if got := br.String(); got == "" {
+		t.Error("branch String empty")
+	}
+	ld := Inst{PC: 0x1004, Class: Load, Src: [MaxSources]Reg{Int(2), NoReg}, Dest: Int(3), Addr: 0x8000}
+	if got := ld.String(); got == "" {
+		t.Error("load String empty")
+	}
+	st := Inst{PC: 0x1008, Class: Store, Src: [MaxSources]Reg{Int(4), Int(5)}, Addr: 0x8008}
+	if got := st.String(); got == "" {
+		t.Error("store String empty")
+	}
+	alu := Inst{PC: 0x100c, Class: IntAlu, Src: [MaxSources]Reg{Int(1), Int(2)}, Dest: Int(6)}
+	if got := alu.String(); got == "" {
+		t.Error("alu String empty")
+	}
+}

@@ -1,0 +1,132 @@
+// Package lsq implements the per-thread load/store queue (Table 1: 48
+// entries): program-order tracking of memory operations, store-to-load
+// forwarding, and same-address ordering.
+//
+// The simulator is trace-driven, so effective addresses are known at
+// rename; disambiguation is therefore exact: a load may bypass older
+// stores to different addresses, must wait for an older same-address
+// store whose data is not yet produced, and forwards from an older
+// same-address store whose data is ready.
+package lsq
+
+import "smtsim/internal/uop"
+
+// LSQ is one thread's load/store queue, a ring buffer in program order.
+type LSQ struct {
+	buf  []*uop.UOp
+	head int
+	size int
+}
+
+// New builds a queue with the given capacity.
+func New(capacity int) *LSQ {
+	if capacity <= 0 {
+		panic("lsq: capacity must be positive")
+	}
+	return &LSQ{buf: make([]*uop.UOp, capacity)}
+}
+
+// Cap returns the capacity.
+func (q *LSQ) Cap() int { return len(q.buf) }
+
+// Len returns the number of occupied entries.
+func (q *LSQ) Len() int { return q.size }
+
+// CanAlloc reports whether n more entries fit.
+func (q *LSQ) CanAlloc(n int) bool { return q.size+n <= len(q.buf) }
+
+// Alloc appends a memory operation in program order at rename time.
+func (q *LSQ) Alloc(u *uop.UOp) {
+	if q.size == len(q.buf) {
+		panic("lsq: overflow")
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = u
+	q.size++
+}
+
+// Release removes the oldest entry, which must be u (memory operations
+// commit in program order). Used at commit and during squash.
+func (q *LSQ) Release(u *uop.UOp) {
+	if q.size == 0 || q.buf[q.head] != u {
+		panic("lsq: release out of order")
+	}
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+}
+
+// DrainYoungerThan removes every memory operation younger than gseq from
+// the tail (selective-squash path). Entries at or below gseq stay.
+func (q *LSQ) DrainYoungerThan(gseq uint64) {
+	for q.size > 0 {
+		i := (q.head + q.size - 1) % len(q.buf)
+		if q.buf[i].GSeq <= gseq {
+			return
+		}
+		q.buf[i] = nil
+		q.size--
+	}
+}
+
+// DrainAll empties the queue (watchdog flush path).
+func (q *LSQ) DrainAll() {
+	for q.size > 0 {
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) % len(q.buf)
+		q.size--
+	}
+}
+
+// line8 collapses an address to its naturally aligned 8-byte granule, the
+// granularity of conflict detection.
+func line8(addr uint64) uint64 { return addr &^ 7 }
+
+// LoadDisposition is the verdict of the disambiguation check for a load
+// that is a candidate for issue.
+type LoadDisposition uint8
+
+const (
+	// LoadGoesToCache means no older same-address store is in flight;
+	// the load accesses the data cache.
+	LoadGoesToCache LoadDisposition = iota
+	// LoadForwards means the youngest older same-address store has its
+	// data ready; the value is forwarded at L1-hit latency.
+	LoadForwards
+	// LoadBlocked means an older same-address store's data is not yet
+	// produced; the load cannot issue this cycle.
+	LoadBlocked
+)
+
+// CheckLoad classifies a load against the older stores in the queue.
+// Scans youngest-to-oldest among entries older than the load so the
+// nearest matching store wins (correct forwarding source).
+func (q *LSQ) CheckLoad(ld *uop.UOp) LoadDisposition {
+	target := line8(ld.Inst.Addr)
+	for i := q.size - 1; i >= 0; i-- {
+		u := q.buf[(q.head+i)%len(q.buf)]
+		if !u.Older(ld) || !u.IsStore() {
+			continue
+		}
+		if line8(u.Inst.Addr) != target {
+			continue
+		}
+		if u.Completed {
+			return LoadForwards
+		}
+		return LoadBlocked
+	}
+	return LoadGoesToCache
+}
+
+// OldestPendingStoreAge returns the global sequence number of the oldest
+// store that has not completed, and whether one exists (for tests and
+// invariant checks).
+func (q *LSQ) OldestPendingStoreAge() (uint64, bool) {
+	for i := 0; i < q.size; i++ {
+		u := q.buf[(q.head+i)%len(q.buf)]
+		if u.IsStore() && !u.Completed {
+			return u.GSeq, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,163 @@
+package lsq
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/uop"
+)
+
+func memOp(class isa.OpClass, seq uint64, addr uint64) *uop.UOp {
+	return &uop.UOp{Inst: isa.Inst{Class: class, Addr: addr}, GSeq: seq}
+}
+
+func TestAllocReleaseDiscipline(t *testing.T) {
+	q := New(4)
+	a := memOp(isa.Store, 1, 0x100)
+	b := memOp(isa.Load, 2, 0x200)
+	q.Alloc(a)
+	q.Alloc(b)
+	if q.Len() != 2 || !q.CanAlloc(2) || q.CanAlloc(3) {
+		t.Fatalf("occupancy accounting wrong: len=%d", q.Len())
+	}
+	q.Release(a)
+	q.Release(b)
+	if q.Len() != 0 {
+		t.Error("queue not empty")
+	}
+}
+
+func TestReleaseOutOfOrderPanics(t *testing.T) {
+	q := New(4)
+	a := memOp(isa.Store, 1, 0x100)
+	b := memOp(isa.Load, 2, 0x200)
+	q.Alloc(a)
+	q.Alloc(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order release did not panic")
+		}
+	}()
+	q.Release(b)
+}
+
+func TestLoadBlockedByPendingStore(t *testing.T) {
+	q := New(8)
+	st := memOp(isa.Store, 1, 0x1000)
+	ld := memOp(isa.Load, 2, 0x1000)
+	q.Alloc(st)
+	q.Alloc(ld)
+	if got := q.CheckLoad(ld); got != LoadBlocked {
+		t.Errorf("load vs pending same-address store = %v, want LoadBlocked", got)
+	}
+	st.Completed = true
+	if got := q.CheckLoad(ld); got != LoadForwards {
+		t.Errorf("load vs completed same-address store = %v, want LoadForwards", got)
+	}
+}
+
+func TestLoadBypassesDifferentAddress(t *testing.T) {
+	q := New(8)
+	st := memOp(isa.Store, 1, 0x1000)
+	ld := memOp(isa.Load, 2, 0x2000)
+	q.Alloc(st)
+	q.Alloc(ld)
+	if got := q.CheckLoad(ld); got != LoadGoesToCache {
+		t.Errorf("different-address load = %v, want LoadGoesToCache", got)
+	}
+}
+
+func TestSameGranuleConflicts(t *testing.T) {
+	q := New(8)
+	st := memOp(isa.Store, 1, 0x1000)
+	ld := memOp(isa.Load, 2, 0x1004) // same 8-byte granule
+	q.Alloc(st)
+	q.Alloc(ld)
+	if got := q.CheckLoad(ld); got != LoadBlocked {
+		t.Errorf("same-granule load = %v, want LoadBlocked", got)
+	}
+}
+
+func TestYoungestMatchingStoreWins(t *testing.T) {
+	q := New(8)
+	s1 := memOp(isa.Store, 1, 0x1000)
+	s2 := memOp(isa.Store, 2, 0x1000)
+	ld := memOp(isa.Load, 3, 0x1000)
+	q.Alloc(s1)
+	q.Alloc(s2)
+	q.Alloc(ld)
+	s1.Completed = true
+	// The nearest older store (s2) is pending, so the load must wait
+	// even though a still older store has its data.
+	if got := q.CheckLoad(ld); got != LoadBlocked {
+		t.Errorf("nearest-store rule broken: %v", got)
+	}
+	s2.Completed = true
+	if got := q.CheckLoad(ld); got != LoadForwards {
+		t.Errorf("forwarding after both complete: %v", got)
+	}
+}
+
+func TestYoungerStoresIgnored(t *testing.T) {
+	q := New(8)
+	ld := memOp(isa.Load, 1, 0x1000)
+	st := memOp(isa.Store, 2, 0x1000)
+	q.Alloc(ld)
+	q.Alloc(st)
+	if got := q.CheckLoad(ld); got != LoadGoesToCache {
+		t.Errorf("younger store affected older load: %v", got)
+	}
+}
+
+func TestOldestPendingStoreAge(t *testing.T) {
+	q := New(8)
+	if _, ok := q.OldestPendingStoreAge(); ok {
+		t.Error("empty queue reported a pending store")
+	}
+	s1 := memOp(isa.Store, 5, 0x1000)
+	s2 := memOp(isa.Store, 9, 0x2000)
+	q.Alloc(s1)
+	q.Alloc(s2)
+	if age, ok := q.OldestPendingStoreAge(); !ok || age != 5 {
+		t.Errorf("oldest pending = %d,%v", age, ok)
+	}
+	s1.Completed = true
+	if age, ok := q.OldestPendingStoreAge(); !ok || age != 9 {
+		t.Errorf("oldest pending after completion = %d,%v", age, ok)
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	q := New(4)
+	q.Alloc(memOp(isa.Store, 1, 0x100))
+	q.Alloc(memOp(isa.Load, 2, 0x200))
+	q.DrainAll()
+	if q.Len() != 0 {
+		t.Error("DrainAll left entries")
+	}
+	// Queue must be reusable after a drain.
+	q.Alloc(memOp(isa.Load, 3, 0x300))
+	if q.Len() != 1 {
+		t.Error("queue unusable after drain")
+	}
+}
+
+func TestWrapAroundRing(t *testing.T) {
+	q := New(3)
+	ops := []*uop.UOp{
+		memOp(isa.Store, 1, 0x100), memOp(isa.Store, 2, 0x200),
+		memOp(isa.Store, 3, 0x300), memOp(isa.Store, 4, 0x400),
+		memOp(isa.Store, 5, 0x500),
+	}
+	q.Alloc(ops[0])
+	q.Alloc(ops[1])
+	q.Release(ops[0])
+	q.Alloc(ops[2])
+	q.Release(ops[1])
+	q.Alloc(ops[3]) // wraps
+	ld := memOp(isa.Load, 6, 0x400)
+	q.Alloc(ld)
+	if got := q.CheckLoad(ld); got != LoadBlocked {
+		t.Errorf("wrapped store not seen by disambiguation: %v", got)
+	}
+}

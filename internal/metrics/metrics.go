@@ -1,0 +1,176 @@
+// Package metrics defines the result records produced by a simulation and
+// the aggregate statistics the paper reports: throughput IPC, the
+// harmonic-mean-of-weighted-IPCs fairness metric (Luo et al. [8]),
+// dispatch-stall fractions, and issue-queue residency.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ThreadResult summarizes one hardware thread of a run.
+type ThreadResult struct {
+	// Benchmark is the workload name bound to the thread.
+	Benchmark string
+	// Committed is the number of instructions the thread committed.
+	Committed uint64
+	// IPC is the thread's committed instructions per total machine cycle.
+	IPC float64
+	// MispredictRate is the thread's branch misprediction rate.
+	MispredictRate float64
+	// NDIBlockCycles counts cycles the thread's oldest undispatched
+	// instruction was a two-non-ready-source NDI.
+	NDIBlockCycles uint64
+}
+
+// Results summarizes one simulation run.
+type Results struct {
+	// Cycles is the simulated cycle count.
+	Cycles int64
+	// Committed is the total instructions committed across threads.
+	Committed uint64
+	// IPC is the overall throughput (Committed / Cycles).
+	IPC float64
+	// Threads holds the per-thread breakdowns.
+	Threads []ThreadResult
+
+	// DispatchStallAllNDI is the fraction of work cycles in which every
+	// thread with buffered instructions was blocked by the 2OP condition
+	// and nothing dispatched (the paper's Section 3 statistic).
+	DispatchStallAllNDI float64
+	// DispatchStallNDIWeak is the looser variant: zero-dispatch cycles
+	// where every thread that had work was NDI-blocked (upstream-starved
+	// threads ignored).
+	DispatchStallNDIWeak float64
+	// DispatchStallAllAny is the fraction of work cycles with zero
+	// dispatches for any reason.
+	DispatchStallAllAny float64
+
+	// IQResidency is the mean number of cycles an instruction spent in
+	// the issue queue between dispatch and issue (paper: 21 cycles for
+	// the traditional 64-entry scheduler vs 15 under OOOD, 2 threads).
+	IQResidency float64
+	// IQOccupancy is the mean number of occupied IQ entries per cycle.
+	IQOccupancy float64
+
+	// HDIPiledFrac is the fraction of instructions sampled behind a
+	// blocking NDI that were themselves dispatchable (paper: ~90%).
+	HDIPiledFrac float64
+	// HDIDepOnNDIFrac is the fraction of out-of-order-dispatched HDIs
+	// that depended, directly or transitively, on a blocked NDI
+	// (paper: ~10%).
+	HDIDepOnNDIFrac float64
+	// HDIDispatched counts instructions dispatched out of program order.
+	HDIDispatched uint64
+
+	// DABInserts counts deadlock-avoidance-buffer captures.
+	DABInserts uint64
+	// WatchdogFlushes counts watchdog-timer pipeline flushes.
+	WatchdogFlushes uint64
+	// GateFlushes counts FLUSH fetch-gate partial squashes.
+	GateFlushes uint64
+	// MSHRStallEvents counts load-issue attempts rejected because all
+	// miss-status registers were busy (0 with unlimited MSHRs).
+	MSHRStallEvents uint64
+
+	// SchedulerEnergyPerInst is the analytical scheduling-logic energy
+	// per committed instruction (units of one tag comparison; package
+	// power), SchedulerEDP its energy-delay product, and Comparators the
+	// queue's total tag comparators — the paper's hardware-cost axis.
+	SchedulerEnergyPerInst float64
+	SchedulerEDP           float64
+	Comparators            int
+
+	// L1DMissRate, L2MissRate and L1IMissRate summarize the cache
+	// hierarchy behaviour of the run.
+	L1DMissRate float64
+	L2MissRate  float64
+	L1IMissRate float64
+}
+
+// String renders a compact multi-line report.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d committed=%d IPC=%.3f\n", r.Cycles, r.Committed, r.IPC)
+	for i, t := range r.Threads {
+		fmt.Fprintf(&b, "  T%d %-10s committed=%-10d IPC=%.3f mispred=%.2f%%\n",
+			i, t.Benchmark, t.Committed, t.IPC, 100*t.MispredictRate)
+	}
+	fmt.Fprintf(&b, "  stall-all(NDI)=%.1f%% stall-all(any)=%.1f%% IQ-residency=%.1f IQ-occupancy=%.1f\n",
+		100*r.DispatchStallAllNDI, 100*r.DispatchStallAllAny, r.IQResidency, r.IQOccupancy)
+	fmt.Fprintf(&b, "  hdi-piled=%.1f%% hdi-dep-ndi=%.1f%% dab=%d flushes=%d l1d-miss=%.1f%% l2-miss=%.1f%%",
+		100*r.HDIPiledFrac, 100*r.HDIDepOnNDIFrac, r.DABInserts, r.WatchdogFlushes,
+		100*r.L1DMissRate, 100*r.L2MissRate)
+	return b.String()
+}
+
+// PerThreadIPCs returns the thread IPC vector.
+func (r Results) PerThreadIPCs() []float64 {
+	out := make([]float64, len(r.Threads))
+	for i, t := range r.Threads {
+		out[i] = t.IPC
+	}
+	return out
+}
+
+// HarmonicMean returns the harmonic mean of xs. It returns 0 if xs is
+// empty or any element is non-positive (the mean is undefined there, and
+// 0 is the conservative sentinel for "no speedup measurable").
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// GeometricMean returns the geometric mean of xs (0 on empty or
+// non-positive input).
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// WeightedIPCs divides each thread's SMT IPC by its single-threaded
+// ("alone") IPC, yielding the per-thread weighted IPCs of Luo et al.
+func WeightedIPCs(smt, alone []float64) ([]float64, error) {
+	if len(smt) != len(alone) {
+		return nil, fmt.Errorf("metrics: %d SMT IPCs vs %d alone IPCs", len(smt), len(alone))
+	}
+	out := make([]float64, len(smt))
+	for i := range smt {
+		if alone[i] <= 0 {
+			return nil, fmt.Errorf("metrics: thread %d alone IPC %v not positive", i, alone[i])
+		}
+		out[i] = smt[i] / alone[i]
+	}
+	return out, nil
+}
+
+// HarmonicWeightedIPC computes the paper's fairness metric: the harmonic
+// mean of the per-thread weighted IPCs. It rewards configurations that
+// raise throughput without starving any single thread.
+func HarmonicWeightedIPC(smt, alone []float64) (float64, error) {
+	w, err := WeightedIPCs(smt, alone)
+	if err != nil {
+		return 0, err
+	}
+	return HarmonicMean(w), nil
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHarmonicMean(t *testing.T) {
+	if !approx(HarmonicMean([]float64{1, 1, 1}), 1) {
+		t.Error("hmean of ones != 1")
+	}
+	if !approx(HarmonicMean([]float64{2, 2}), 2) {
+		t.Error("hmean of twos != 2")
+	}
+	// hmean(1, 1/3) = 2 / (1 + 3) = 0.5
+	if !approx(HarmonicMean([]float64{1, 1.0 / 3}), 0.5) {
+		t.Errorf("hmean(1, 1/3) = %v", HarmonicMean([]float64{1, 1.0 / 3}))
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{1, 0}) != 0 || HarmonicMean([]float64{-1}) != 0 {
+		t.Error("degenerate inputs not mapped to 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if !approx(GeometricMean([]float64{2, 8}), 4) {
+		t.Errorf("gmean(2,8) = %v", GeometricMean([]float64{2, 8}))
+	}
+	if GeometricMean(nil) != 0 || GeometricMean([]float64{0}) != 0 {
+		t.Error("degenerate inputs not mapped to 0")
+	}
+}
+
+// Property: harmonic mean <= geometric mean <= arithmetic mean for any
+// positive vector (AM-GM-HM inequality), and all means lie within
+// [min, max].
+func TestMeanInequalities(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)/100+0.01)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, g := HarmonicMean(xs), GeometricMean(xs)
+		var sum, min, max float64
+		min, max = xs[0], xs[0]
+		for _, x := range xs {
+			sum += x
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		a := sum / float64(len(xs))
+		const eps = 1e-9
+		return h <= g+eps && g <= a+eps && h >= min-eps && a <= max+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedIPCs(t *testing.T) {
+	w, err := WeightedIPCs([]float64{1, 2}, []float64{2, 2})
+	if err != nil || !approx(w[0], 0.5) || !approx(w[1], 1) {
+		t.Errorf("weighted = %v, %v", w, err)
+	}
+	if _, err := WeightedIPCs([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedIPCs([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone IPC accepted")
+	}
+}
+
+func TestHarmonicWeightedIPC(t *testing.T) {
+	// Perfectly fair halving: each thread at half its alone speed.
+	f, err := HarmonicWeightedIPC([]float64{1, 1}, []float64{2, 2})
+	if err != nil || !approx(f, 0.5) {
+		t.Errorf("fairness = %v, %v", f, err)
+	}
+	// Starving one thread tanks the metric even if the other flies:
+	// hmean(0.01, 1.0) << hmean(0.5, 0.5).
+	starved, _ := HarmonicWeightedIPC([]float64{0.02, 2}, []float64{2, 2})
+	fair, _ := HarmonicWeightedIPC([]float64{1, 1}, []float64{2, 2})
+	if starved >= fair {
+		t.Errorf("fairness metric did not penalize starvation: %v >= %v", starved, fair)
+	}
+}
+
+func TestResultsString(t *testing.T) {
+	r := Results{
+		Cycles: 100, Committed: 250, IPC: 2.5,
+		Threads: []ThreadResult{{Benchmark: "gzip", Committed: 250, IPC: 2.5}},
+	}
+	s := r.String()
+	for _, want := range []string{"cycles=100", "gzip", "IPC=2.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestPerThreadIPCs(t *testing.T) {
+	r := Results{Threads: []ThreadResult{{IPC: 1}, {IPC: 2}}}
+	got := r.PerThreadIPCs()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("PerThreadIPCs = %v", got)
+	}
+}

@@ -1,0 +1,45 @@
+package pipeline
+
+import (
+	"testing"
+
+	icore "smtsim/internal/core"
+	"smtsim/internal/workload"
+)
+
+func benchCore(b *testing.B, policy icore.Policy, names ...string) *Core {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	var specs []ThreadSpec
+	for i, n := range names {
+		prog, err := workload.CompileBenchmark(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, ThreadSpec{Name: n, Reader: prog.NewStream(uint64(i + 1))})
+	}
+	c, err := New(cfg, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkStep measures the raw per-cycle cost of the pipeline model
+// under each dispatch policy on a 4-thread Table 1 machine.
+func BenchmarkStep(b *testing.B) {
+	for _, policy := range []icore.Policy{icore.InOrder, icore.TwoOpBlock, icore.TwoOpOOOD} {
+		b.Run(policy.String(), func(b *testing.B) {
+			c := benchCore(b, policy, "equake", "twolf", "gcc", "gzip")
+			// Warm caches and predictors out of the timed region.
+			for i := 0; i < 5000; i++ {
+				c.Step()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Step()
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	icore "smtsim/internal/core"
+	"smtsim/internal/iq"
+)
+
+func TestDefaultPartitionSplits(t *testing.T) {
+	for _, size := range []int{32, 48, 64, 96, 128} {
+		p := DefaultPartition(size)
+		if p.Total() != size {
+			t.Errorf("partition of %d sums to %d", size, p.Total())
+		}
+		if p[1] != size/2 || p[0] != size/4 {
+			t.Errorf("partition of %d = %v, want quarter/half/quarter", size, p)
+		}
+	}
+}
+
+func TestQueuePartitionResolution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IQSize = 64
+
+	// Traditional: uniform two-comparator entries.
+	cfg.Policy = icore.InOrder
+	if p := cfg.queuePartition(); p != iq.Uniform(64, 2) {
+		t.Errorf("traditional partition = %v", p)
+	}
+	// 2OP designs: uniform one-comparator entries.
+	cfg.Policy = icore.TwoOpBlock
+	if p := cfg.queuePartition(); p != iq.Uniform(64, 1) {
+		t.Errorf("2OP partition = %v", p)
+	}
+	// Tag elimination: the default split.
+	cfg.Policy = icore.TagElim
+	if p := cfg.queuePartition(); p != DefaultPartition(64) {
+		t.Errorf("tag-elim partition = %v", p)
+	}
+	// Explicit partition wins.
+	cfg.IQPartition = iq.Partition{1, 2, 3}
+	if p := cfg.queuePartition(); p != (iq.Partition{1, 2, 3}) {
+		t.Errorf("explicit partition ignored: %v", p)
+	}
+}
+
+func TestMaxCommitted(t *testing.T) {
+	c, err := New(DefaultConfig(), []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 1)},
+		{Name: "gzip", Reader: benchStream(t, "gzip", 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxCommitted() != 0 {
+		t.Error("fresh core has committed work")
+	}
+	if _, err := c.Run(3_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxCommitted() < 3_000 {
+		t.Errorf("MaxCommitted = %d after a 3000-budget run", c.MaxCommitted())
+	}
+	// After a warmup reset the post-warmup count starts over.
+	if err := c.Warmup(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxCommitted() != 0 {
+		t.Errorf("MaxCommitted = %d after warmup reset, want 0", c.MaxCommitted())
+	}
+}
+
+func TestDeadlockMechanismNames(t *testing.T) {
+	if DeadlockDAB.String() != "dab" || DeadlockWatchdog.String() != "watchdog" || DeadlockNone.String() != "none" {
+		t.Error("mechanism names wrong")
+	}
+}

@@ -1,0 +1,702 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"smtsim/internal/bpred"
+	"smtsim/internal/cache"
+	"smtsim/internal/core"
+	"smtsim/internal/fetch"
+	"smtsim/internal/fu"
+	"smtsim/internal/iq"
+	"smtsim/internal/isa"
+	"smtsim/internal/lsq"
+	"smtsim/internal/metrics"
+	"smtsim/internal/power"
+	"smtsim/internal/regfile"
+	"smtsim/internal/rename"
+	"smtsim/internal/rob"
+	"smtsim/internal/uop"
+)
+
+// TraceReader supplies one thread's dynamic instruction stream. Streams
+// are infinite; the run is bounded by the commit budget.
+type TraceReader interface {
+	Next() isa.Inst
+}
+
+// ThreadSpec binds a benchmark name to its trace for one hardware thread.
+type ThreadSpec struct {
+	Name   string
+	Reader TraceReader
+}
+
+// farFuture blocks a thread's fetch until an event (branch resolution)
+// re-enables it.
+const farFuture = math.MaxInt64 / 2
+
+// fetchEntry is one fetched instruction traversing the front end.
+type fetchEntry struct {
+	inst       isa.Inst
+	readyAt    int64 // cycle at which rename may consume it
+	predTaken  bool
+	predTarget uint64
+	mispred    bool
+}
+
+// threadState is the per-thread front-end and bookkeeping state.
+type threadState struct {
+	name   string
+	stream TraceReader
+
+	// replay holds instructions to refetch after a watchdog flush, in
+	// program order, ahead of the stream.
+	replay []isa.Inst
+	// pendingInst is an instruction whose I-cache block is in flight.
+	pendingInst *isa.Inst
+
+	fetchQ  []fetchEntry
+	qHead   int // fetchQ is a ring: qHead + qLen index into it
+	qLen    int
+	blocked int64 // cycle at which fetch may resume
+
+	lastBlock      uint64
+	lastBlockValid bool
+
+	// Fetch-gating state (see gating.go).
+	outstandingL1D int
+	outstandingMem int
+	gateLoad       *uop.UOp
+
+	committed uint64
+}
+
+func (ts *threadState) fetchQFull() bool { return ts.qLen == len(ts.fetchQ) }
+
+func (ts *threadState) fetchQPush(e fetchEntry) {
+	if ts.fetchQFull() {
+		panic("pipeline: fetch queue overflow")
+	}
+	ts.fetchQ[(ts.qHead+ts.qLen)%len(ts.fetchQ)] = e
+	ts.qLen++
+}
+
+func (ts *threadState) fetchQPeek() (fetchEntry, bool) {
+	if ts.qLen == 0 {
+		return fetchEntry{}, false
+	}
+	return ts.fetchQ[ts.qHead], true
+}
+
+func (ts *threadState) fetchQPop() fetchEntry {
+	e := ts.fetchQ[ts.qHead]
+	ts.fetchQ[ts.qHead] = fetchEntry{}
+	ts.qHead = (ts.qHead + 1) % len(ts.fetchQ)
+	ts.qLen--
+	return e
+}
+
+// nextInst supplies the next instruction to fetch: a block-miss leftover
+// first, then the flush-replay queue, then the live trace. The bool
+// reports whether it came from pendingInst (its I-cache access already
+// happened).
+func (ts *threadState) nextInst() (isa.Inst, bool) {
+	if ts.pendingInst != nil {
+		in := *ts.pendingInst
+		ts.pendingInst = nil
+		return in, true
+	}
+	if len(ts.replay) > 0 {
+		in := ts.replay[0]
+		ts.replay = ts.replay[1:]
+		return in, false
+	}
+	return ts.stream.Next(), false
+}
+
+// Core is the simulated SMT processor.
+type Core struct {
+	cfg      Config
+	nthreads int
+	cycle    int64
+	gseq     uint64
+
+	rf    *regfile.File
+	rats  []*rename.Table
+	robs  []*rob.ROB
+	lsqs  []*lsq.LSQ
+	q     *iq.Queue
+	disp  *core.Dispatcher
+	fus   *fu.Pools
+	hier  *cache.Hierarchy
+	btb   *bpred.BTB
+	preds []*bpred.Predictor
+	sel   *fetch.Selector
+	wdog  *core.Watchdog
+
+	threads []*threadState
+	events  eventQueue
+	scratch []*uop.UOp
+
+	commitRR, renameRR int
+	lastCommitCycle    int64
+	onCommit           func(*uop.UOp)
+
+	// Statistics baselines, set by Warmup so measurement excludes the
+	// initialization period (the paper skips initialization with
+	// SimPoints and measures the following 100M instructions).
+	statsCycleBase int64
+	commitBase     []uint64
+
+	iqResidencySum  uint64
+	iqIssued        uint64
+	gateFlushes     uint64
+	broadcasts      uint64
+	inFlightMisses  int
+	mshrStallEvents uint64
+	dabIssues       uint64
+	insertsBase     uint64
+	dabBase         uint64
+}
+
+// New builds a core over the given configuration and thread workloads.
+func New(cfg Config, specs []ThreadSpec) (*Core, error) {
+	n := len(specs)
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:      cfg,
+		nthreads: n,
+		rf:       regfile.New(cfg.IntRegs, cfg.FpRegs),
+		q:        iq.NewPartitioned(cfg.queuePartition(), n),
+		disp:     core.NewDispatcher(cfg.Policy, cfg.Width, cfg.DispatchBufCap, n),
+		fus:      fu.MustNew(fu.DefaultConfig()),
+		hier:     cfg.Hierarchy,
+		btb:      bpred.NewBTB(2048, 2),
+		sel:      fetch.NewSelector(cfg.FetchPolicy, n),
+		scratch:  make([]*uop.UOp, 0, cfg.IQSize),
+	}
+	if c.hier == nil {
+		c.hier = cache.DefaultHierarchy()
+	}
+	switch cfg.Deadlock {
+	case DeadlockWatchdog:
+		c.wdog = core.NewWatchdog(cfg.WatchdogLimit)
+		c.disp.SetDABEnabled(false)
+	case DeadlockNone:
+		c.disp.SetDABEnabled(false)
+	}
+	if cfg.PerThreadIQCap > 0 {
+		c.disp.SetPerThreadCap(cfg.PerThreadIQCap)
+	}
+	for _, s := range specs {
+		if s.Reader == nil {
+			return nil, fmt.Errorf("pipeline: thread %q has nil trace", s.Name)
+		}
+		c.rats = append(c.rats, rename.New(c.rf))
+		c.robs = append(c.robs, rob.New(cfg.ROBPerThread))
+		c.lsqs = append(c.lsqs, lsq.New(cfg.LSQPerThread))
+		c.preds = append(c.preds, bpred.New(c.btb))
+		c.threads = append(c.threads, &threadState{
+			name:   s.Name,
+			stream: s.Reader,
+			fetchQ: make([]fetchEntry, cfg.FetchQueueCap),
+		})
+	}
+	c.commitBase = make([]uint64, n)
+	return c, nil
+}
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Committed returns thread t's committed instruction count.
+func (c *Core) Committed(t int) uint64 { return c.threads[t].committed }
+
+// MaxCommitted returns the largest post-warmup commit count across the
+// core's threads — the quantity the paper's stopping rule tests.
+func (c *Core) MaxCommitted() uint64 {
+	var max uint64
+	for t, ts := range c.threads {
+		if n := ts.committed - c.commitBase[t]; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Dispatcher exposes the dispatch stage (tests and examples inspect its
+// statistics and DAB).
+func (c *Core) Dispatcher() *core.Dispatcher { return c.disp }
+
+// RegFile exposes the physical register file for invariant checks.
+func (c *Core) RegFile() *regfile.File { return c.rf }
+
+// RenameTable exposes thread t's rename table for invariant checks.
+func (c *Core) RenameTable(t int) *rename.Table { return c.rats[t] }
+
+// IQ exposes the issue queue for tests.
+func (c *Core) IQ() *iq.Queue { return c.q }
+
+// ROB exposes thread t's reorder buffer for invariant checks.
+func (c *Core) ROB(t int) *rob.ROB { return c.robs[t] }
+
+// SetCommitHook installs fn to observe every committed instruction in
+// commit order. Intended for instrumentation and tests; fn must not
+// mutate the UOp.
+func (c *Core) SetCommitHook(fn func(*uop.UOp)) { c.onCommit = fn }
+
+// ErrDeadlock is returned (wrapped) when the safety net detects that no
+// instruction committed for the configured stall limit.
+var ErrDeadlock = fmt.Errorf("pipeline: deadlock detected")
+
+// Warmup advances the machine until any thread commits n instructions,
+// then resets every statistic while keeping all microarchitectural state
+// (caches, predictors, in-flight instructions) warm. It mirrors the
+// paper's methodology of skipping each benchmark's initialization before
+// measuring. Warmup may be called at most once, before Run.
+func (c *Core) Warmup(n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if _, err := c.Run(n); err != nil {
+		return fmt.Errorf("pipeline: warmup: %w", err)
+	}
+	c.disp.ResetStats()
+	c.q.ResetStats()
+	for _, cc := range []interface{ ResetStats() }{c.hier.L1I, c.hier.L1D, c.hier.L2} {
+		cc.ResetStats()
+	}
+	for _, p := range c.preds {
+		p.ResetStats()
+	}
+	if c.wdog != nil {
+		c.wdog.Expiries = 0
+	}
+	c.iqResidencySum, c.iqIssued = 0, 0
+	c.gateFlushes = 0
+	c.mshrStallEvents = 0
+	c.broadcasts, c.dabIssues = 0, 0
+	c.insertsBase = c.q.Inserts
+	c.dabBase = c.disp.DAB().Inserts
+	c.statsCycleBase = c.cycle
+	for t, ts := range c.threads {
+		c.commitBase[t] = ts.committed
+	}
+	return nil
+}
+
+// Run advances the machine until any thread commits maxCommit
+// instructions (the paper's stopping rule) and returns the collected
+// results. Errors indicate a detected deadlock or the cycle-cap safety
+// net; partial results accompany them.
+func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
+	if maxCommit == 0 {
+		return c.Results(), fmt.Errorf("pipeline: zero commit budget")
+	}
+	maxCycles := c.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = int64(maxCommit)*400 + 10_000_000
+	}
+	stallLimit := c.cfg.StallLimit
+	if stallLimit == 0 {
+		stallLimit = 100_000
+	}
+	for {
+		c.Step()
+		for t, ts := range c.threads {
+			if ts.committed-c.commitBase[t] >= maxCommit {
+				return c.Results(), nil
+			}
+		}
+		if c.cycle-c.lastCommitCycle > stallLimit {
+			return c.Results(), fmt.Errorf("%w: no commit for %d cycles (policy %s, deadlock mech %s)",
+				ErrDeadlock, stallLimit, c.cfg.Policy, c.cfg.Deadlock)
+		}
+		if c.cycle >= maxCycles {
+			return c.Results(), fmt.Errorf("pipeline: cycle cap %d reached with %d committed",
+				maxCycles, c.totalCommitted())
+		}
+	}
+}
+
+// Step advances the machine one cycle, in reverse pipeline order so each
+// stage observes the previous cycle's state of its upstream neighbor.
+func (c *Core) Step() {
+	c.cycle++
+	c.writeback()
+	c.commit()
+	c.issue()
+	dispatched := c.disp.Run(c.cycle, c.q, c.rf, c.robs)
+	if c.wdog != nil && c.wdog.Tick(dispatched > 0) {
+		c.flushAll()
+	}
+	c.rename()
+	c.fetch()
+	c.q.Sample()
+}
+
+// writeback drains due completion events: results become visible to the
+// scheduler and the instructions commit-eligible.
+func (c *Core) writeback() {
+	for u := c.events.popDue(c.cycle); u != nil; u = c.events.popDue(c.cycle) {
+		u.Completed = true
+		u.CompletedAt = c.cycle
+		c.rf.SetReady(u.Dest)
+		if u.Dest.Valid() {
+			c.broadcasts++ // one wakeup-bus tag broadcast
+		}
+		c.disp.OnComplete(u)
+		if u.IsLoad() {
+			c.noteLoadDone(u)
+		}
+		if u.IsBranch() && u.Mispred {
+			// Resolution: the front end may refetch down the correct
+			// path after the redirect penalty.
+			c.threads[u.Thread].blocked = c.cycle + c.cfg.RedirectPenalty
+		}
+	}
+}
+
+// commit retires completed instructions in program order per thread, up
+// to the machine width across threads; the scan origin rotates for
+// fairness.
+func (c *Core) commit() {
+	budget := c.cfg.Width
+	start := c.commitRR
+	c.commitRR = (c.commitRR + 1) % c.nthreads
+	for i := 0; i < c.nthreads && budget > 0; i++ {
+		t := (start + i) % c.nthreads
+		for budget > 0 {
+			u := c.robs[t].Head()
+			if u == nil || !u.Completed {
+				break
+			}
+			c.robs[t].PopHead()
+			if u.Inst.Class.IsMem() {
+				c.lsqs[t].Release(u)
+			}
+			if u.IsStore() {
+				c.hier.StoreCommit(u.Inst.Addr)
+			}
+			c.rats[t].Commit(u)
+			c.threads[t].committed++
+			c.lastCommitCycle = c.cycle
+			if c.onCommit != nil {
+				c.onCommit(u)
+			}
+			budget--
+		}
+	}
+}
+
+// issue selects up to width ready instructions. Instructions in the
+// deadlock-avoidance buffer take precedence; while the DAB is occupied,
+// IQ selection is disabled (the paper's evaluated arbitration).
+func (c *Core) issue() {
+	budget := c.cfg.Width
+	dab := c.disp.DAB()
+	if dab.Len() > 0 {
+		c.scratch = append(c.scratch[:0], dab.Entries()...)
+		for _, u := range c.scratch {
+			if budget == 0 {
+				break
+			}
+			if !c.fus.TryIssue(u.Inst.Class, c.cycle) {
+				continue
+			}
+			dab.Remove(u)
+			c.issueUOp(u, false)
+			budget--
+		}
+		return
+	}
+	for _, u := range c.q.ReadyOrdered(c.rf, c.scratch, c.cfg.Select, c.cycle) {
+		if budget == 0 {
+			break
+		}
+		if !u.InIQ || u.Squashed {
+			// A gate flush triggered by an earlier issue this cycle
+			// removed this instruction from the queue.
+			continue
+		}
+		if u.IsLoad() {
+			if c.lsqs[u.Thread].CheckLoad(u) == lsq.LoadBlocked {
+				continue // older same-address store data not yet produced
+			}
+			if c.cfg.MSHRs > 0 && c.inFlightMisses >= c.cfg.MSHRs &&
+				!c.hier.L1D.Contains(u.Inst.Addr) {
+				c.mshrStallEvents++
+				continue // no miss-status register free; retry next cycle
+			}
+		}
+		if !c.fus.TryIssue(u.Inst.Class, c.cycle) {
+			continue
+		}
+		c.q.Remove(u)
+		c.issueUOp(u, true)
+		budget--
+	}
+}
+
+// issueUOp starts execution: the result (and wakeup of dependents) is
+// scheduled at issue + latency, which lets single-cycle dependents issue
+// back to back; loads add the cache hierarchy's miss penalty unless they
+// forward from an older store.
+func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
+	u.Issued = true
+	u.IssuedAt = c.cycle
+	if fromIQ {
+		c.iqResidencySum += uint64(c.cycle - u.DispatchedAt)
+		c.iqIssued++
+	} else {
+		c.dabIssues++
+	}
+	lat := int64(isa.Latency[u.Inst.Class])
+	if u.IsLoad() && c.lsqs[u.Thread].CheckLoad(u) != lsq.LoadForwards {
+		extra := c.hier.LoadLatencyExtra(u.Inst.Addr)
+		lat += int64(extra)
+		c.noteLoadIssue(u, extra)
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	c.events.schedule(c.cycle+lat, u)
+}
+
+// rename consumes front-end entries in program order per thread: operands
+// are renamed and ROB/LSQ entries allocated (always in order — the
+// invariant out-of-order dispatch relies on), then the instruction joins
+// its thread's dispatch buffer.
+func (c *Core) rename() {
+	budget := c.cfg.Width
+	start := c.renameRR
+	c.renameRR = (c.renameRR + 1) % c.nthreads
+	for i := 0; i < c.nthreads && budget > 0; i++ {
+		t := (start + i) % c.nthreads
+		ts := c.threads[t]
+		for budget > 0 {
+			e, ok := ts.fetchQPeek()
+			if !ok || e.readyAt > c.cycle {
+				break
+			}
+			if !c.disp.Buffer(t).CanPush() || !c.robs[t].CanAlloc(1) {
+				break
+			}
+			in := e.inst
+			if in.Class.IsMem() && !c.lsqs[t].CanAlloc(1) {
+				break
+			}
+			if in.HasDest() && !c.rf.CanAlloc(in.Dest.Class, 1) {
+				break
+			}
+			ts.fetchQPop()
+			u := &uop.UOp{
+				Inst:         in,
+				Thread:       t,
+				GSeq:         c.gseq,
+				RenamedAt:    c.cycle,
+				DispatchedAt: uop.NoCycle,
+				IssuedAt:     uop.NoCycle,
+				CompletedAt:  uop.NoCycle,
+				PredTaken:    e.predTaken,
+				PredTarget:   e.predTarget,
+				Mispred:      e.mispred,
+			}
+			c.gseq++
+			c.rats[t].Rename(u)
+			c.robs[t].Alloc(u)
+			if in.Class.IsMem() {
+				c.lsqs[t].Alloc(u)
+			}
+			c.disp.Buffer(t).Push(u)
+			budget--
+		}
+	}
+}
+
+// fetch pulls instructions from up to FetchThreads thread traces chosen
+// by the fetch policy, up to the machine width in total. Fetch for a
+// thread breaks on a taken branch, a mispredicted branch (until
+// resolution), an I-cache miss (until the block arrives), or a full
+// fetch queue.
+func (c *Core) fetch() {
+	runnable := func(t int) bool {
+		ts := c.threads[t]
+		return ts.blocked <= c.cycle && !ts.fetchQFull() && c.gateAllows(t)
+	}
+	icount := func(t int) int {
+		return c.threads[t].qLen + c.disp.Buffer(t).Len() + c.q.ThreadCount(t)
+	}
+	budget := c.cfg.Width
+	threadsUsed := 0
+	for _, t := range c.sel.Order(runnable, icount) {
+		if budget == 0 || threadsUsed == c.cfg.FetchThreads {
+			break
+		}
+		budget -= c.fetchThread(t, budget)
+		threadsUsed++
+	}
+}
+
+func (c *Core) fetchThread(t, budget int) int {
+	ts := c.threads[t]
+	lineMask := ^uint64(c.hier.L1I.Config().LineSize - 1)
+	n := 0
+	for n < budget {
+		if ts.fetchQFull() {
+			break
+		}
+		in, prefetched := ts.nextInst()
+		if !prefetched {
+			blk := in.PC & lineMask
+			if !ts.lastBlockValid || blk != ts.lastBlock {
+				ts.lastBlock = blk
+				ts.lastBlockValid = true
+				if extra := c.hier.FetchLatencyExtra(in.PC); extra > 0 {
+					// The block is being filled; hold the instruction
+					// and resume when it arrives.
+					held := in
+					ts.pendingInst = &held
+					ts.blocked = c.cycle + int64(extra)
+					break
+				}
+			}
+		}
+		e := fetchEntry{inst: in, readyAt: c.cycle + c.cfg.FrontEndDelay}
+		if in.Class == isa.Branch {
+			pt, ptg := c.preds[t].Predict(in.PC)
+			correct := c.preds[t].Resolve(in.PC, pt, ptg, in.Taken, in.Target)
+			e.predTaken, e.predTarget, e.mispred = pt, ptg, !correct
+			ts.fetchQPush(e)
+			n++
+			if !correct {
+				// Fetch stalls until the branch resolves in execution.
+				ts.blocked = farFuture
+				ts.lastBlockValid = false
+				break
+			}
+			if in.Taken {
+				ts.lastBlockValid = false // next fetch starts a new block
+				break
+			}
+			continue
+		}
+		ts.fetchQPush(e)
+		n++
+	}
+	return n
+}
+
+// flushAll implements the watchdog recovery: every thread's in-flight
+// instructions (renamed and fetched-but-unrenamed alike) are squashed,
+// rename state rewinds to the committed architectural map, and the
+// squashed instructions are queued for refetch in program order.
+func (c *Core) flushAll() {
+	for t := 0; t < c.nthreads; t++ {
+		ts := c.threads[t]
+		c.disp.DrainThread(t)
+		c.q.DrainThread(t)
+		robUops := c.robs[t].DrainAll()
+		c.lsqs[t].DrainAll()
+		c.rats[t].SquashAll()
+
+		insts := make([]isa.Inst, 0, len(robUops)+ts.qLen+1+len(ts.replay))
+		for _, u := range robUops {
+			u.Squashed = true
+			if u.Dest.Valid() {
+				c.rf.Free(u.Dest)
+			}
+			c.forgetLoad(u)
+			insts = append(insts, u.Inst)
+		}
+		for ts.qLen > 0 {
+			insts = append(insts, ts.fetchQPop().inst)
+		}
+		if ts.pendingInst != nil {
+			insts = append(insts, *ts.pendingInst)
+			ts.pendingInst = nil
+		}
+		ts.replay = append(insts, ts.replay...)
+		ts.blocked = c.cycle + c.cfg.FlushRefill
+		ts.lastBlockValid = false
+	}
+}
+
+func (c *Core) totalCommitted() uint64 {
+	var sum uint64
+	for t, ts := range c.threads {
+		sum += ts.committed - c.commitBase[t]
+	}
+	return sum
+}
+
+// Results assembles the metrics of the run so far.
+func (c *Core) Results() metrics.Results {
+	cycles := c.cycle - c.statsCycleBase
+	r := metrics.Results{
+		Cycles:    cycles,
+		Committed: c.totalCommitted(),
+	}
+	if cycles > 0 {
+		r.IPC = float64(r.Committed) / float64(cycles)
+	}
+	ds := c.disp.Stats()
+	for t, ts := range c.threads {
+		tr := metrics.ThreadResult{
+			Benchmark:      ts.name,
+			Committed:      ts.committed - c.commitBase[t],
+			MispredictRate: c.preds[t].MispredictRate(),
+			NDIBlockCycles: ds.NDIBlockCycles[t],
+		}
+		if cycles > 0 {
+			tr.IPC = float64(ts.committed-c.commitBase[t]) / float64(cycles)
+		}
+		r.Threads = append(r.Threads, tr)
+	}
+	if ds.Cycles > 0 {
+		r.DispatchStallAllNDI = float64(ds.StallAllNDI) / float64(ds.Cycles)
+		r.DispatchStallNDIWeak = float64(ds.StallNDIWeak) / float64(ds.Cycles)
+		r.DispatchStallAllAny = float64(ds.StallAllAny) / float64(ds.Cycles)
+	}
+	if c.iqIssued > 0 {
+		r.IQResidency = float64(c.iqResidencySum) / float64(c.iqIssued)
+	}
+	r.IQOccupancy = c.q.MeanOccupancy()
+	if ds.PiledSampled > 0 {
+		r.HDIPiledFrac = float64(ds.PiledHDI) / float64(ds.PiledSampled)
+	}
+	if ds.HDIDispatched > 0 {
+		r.HDIDepOnNDIFrac = float64(ds.HDIDepOnNDI) / float64(ds.HDIDispatched)
+	}
+	r.HDIDispatched = ds.HDIDispatched
+	r.DABInserts = c.disp.DAB().Inserts
+	r.GateFlushes = c.gateFlushes
+	r.MSHRStallEvents = c.mshrStallEvents
+	if c.wdog != nil {
+		r.WatchdogFlushes = c.wdog.Expiries
+	}
+	// Analytical scheduler energy (package power), using the measured
+	// event counts and the queue's comparator inventory.
+	part := c.q.Partition()
+	ev := power.Events{
+		Cycles:        cycles,
+		Committed:     r.Committed,
+		TagBroadcasts: c.broadcasts,
+		DispatchesIQ:  c.q.Inserts - c.insertsBase,
+		IssuedIQ:      c.iqIssued,
+		DABAccesses:   (c.disp.DAB().Inserts - c.dabBase) + c.dabIssues,
+		MeanOccupancy: r.IQOccupancy,
+	}
+	bd := power.Estimate(part, power.DefaultWeights(), ev)
+	r.SchedulerEnergyPerInst = bd.PerInstruction(r.Committed)
+	r.SchedulerEDP = power.EDP(bd, ev)
+	r.Comparators = power.Comparators(part)
+
+	r.L1DMissRate = c.hier.L1D.Stats().MissRate()
+	r.L2MissRate = c.hier.L2.Stats().MissRate()
+	r.L1IMissRate = c.hier.L1I.Stats().MissRate()
+	return r
+}

@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"container/heap"
+
+	"smtsim/internal/uop"
+)
+
+// completion is a scheduled writeback event: at cycle `at`, u's result is
+// produced (destination becomes ready, u becomes commit-eligible).
+type completion struct {
+	at int64
+	u  *uop.UOp
+}
+
+// eventQueue is a min-heap of completions ordered by cycle.
+type eventQueue []completion
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(completion)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = completion{}
+	*q = old[:n-1]
+	return x
+}
+
+// schedule enqueues a completion.
+func (q *eventQueue) schedule(at int64, u *uop.UOp) {
+	heap.Push(q, completion{at: at, u: u})
+}
+
+// popDue removes and returns the next completion due at or before cycle,
+// or nil if none.
+func (q *eventQueue) popDue(cycle int64) *uop.UOp {
+	for q.Len() > 0 {
+		if (*q)[0].at > cycle {
+			return nil
+		}
+		c := heap.Pop(q).(completion)
+		if c.u.Squashed {
+			continue // annulled by a watchdog flush
+		}
+		return c.u
+	}
+	return nil
+}

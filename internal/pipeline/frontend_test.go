@@ -1,0 +1,264 @@
+package pipeline
+
+import (
+	"testing"
+
+	icore "smtsim/internal/core"
+	"smtsim/internal/isa"
+	"smtsim/internal/uop"
+)
+
+// TestICacheMissStallsFetch drives a trace whose instructions are spread
+// across many I-cache blocks and checks the pending-instruction path: an
+// instruction whose block misses is held and fetched after the fill,
+// never lost or duplicated.
+func TestICacheMissStallsFetch(t *testing.T) {
+	// Instructions 16KB apart: every fetch opens a new 128-byte block
+	// and the blocks conflict in the 64KB 2-way L1I, so misses recur.
+	insts := make([]isa.Inst, 64)
+	for i := range insts {
+		insts[i] = isa.Inst{
+			PC:    0x120000000 + uint64(i)*16<<10,
+			Class: isa.IntAlu,
+			Dest:  isa.Int(5),
+			Src:   [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg},
+		}
+	}
+	c, err := New(DefaultConfig(), []ThreadSpec{
+		{Name: "strider", Reader: &sliceReader{prologue: insts, filler: fillerALU}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	c.SetCommitHook(func(u *uop.UOp) { seen[u.Inst.Seq]++ })
+	res, err := c.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Errorf("instruction %d committed %d times", seq, n)
+		}
+	}
+	if res.L1IMissRate == 0 {
+		t.Error("trace designed to miss the I-cache did not")
+	}
+	// 64 cold block misses at 160 cycles dominate: the run must be slow.
+	if res.Cycles < 64*100 {
+		t.Errorf("only %d cycles; I-cache misses not charged", res.Cycles)
+	}
+}
+
+// TestStoreToLoadForwardingPath drives a store followed closely by a
+// load of the same address and verifies the load does not pay the cache
+// miss (it forwards from the LSQ).
+func TestStoreToLoadForwardingPath(t *testing.T) {
+	addr := uint64(0x200000000)
+	prologue := []isa.Inst{
+		// r1 produced late (divide), so the store's data arrives late too.
+		{PC: 0x1000, Class: isa.IntDiv, Dest: isa.Int(1),
+			Src: [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg}},
+		{PC: 0x1004, Class: isa.Store, Addr: addr,
+			Src: [isa.MaxSources]isa.Reg{isa.Int(1), isa.Int(0)}},
+		{PC: 0x1008, Class: isa.Load, Addr: addr, Dest: isa.Int(2),
+			Src: [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg}},
+	}
+	c, err := New(DefaultConfig(), []ThreadSpec{
+		{Name: "fwd", Reader: &sliceReader{prologue: prologue, filler: fillerALU}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadLatency int64
+	c.SetCommitHook(func(u *uop.UOp) {
+		if u.IsLoad() && u.Inst.Seq == 2 {
+			loadLatency = u.CompletedAt - u.IssuedAt
+		}
+	})
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if loadLatency == 0 {
+		t.Fatal("forwarded load never committed")
+	}
+	// A cold cache access would cost 2+160; forwarding costs the L1
+	// pipeline latency (2).
+	if loadLatency > 5 {
+		t.Errorf("load latency %d cycles; store-to-load forwarding not applied", loadLatency)
+	}
+}
+
+// TestLoadWaitsForPendingStoreData: a load to the address of an older
+// store whose data is not ready must not issue before the store.
+func TestLoadWaitsForPendingStoreData(t *testing.T) {
+	addr := uint64(0x200000000)
+	prologue := []isa.Inst{
+		{PC: 0x1000, Class: isa.IntDiv, Dest: isa.Int(1),
+			Src: [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg}},
+		{PC: 0x1004, Class: isa.Store, Addr: addr,
+			Src: [isa.MaxSources]isa.Reg{isa.Int(1), isa.Int(0)}},
+		{PC: 0x1008, Class: isa.Load, Addr: addr, Dest: isa.Int(2),
+			Src: [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg}},
+	}
+	c, err := New(DefaultConfig(), []ThreadSpec{
+		{Name: "order", Reader: &sliceReader{prologue: prologue, filler: fillerALU}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storeIssued, loadIssued int64
+	c.SetCommitHook(func(u *uop.UOp) {
+		switch u.Inst.Seq {
+		case 1:
+			storeIssued = u.IssuedAt
+		case 2:
+			loadIssued = u.IssuedAt
+		}
+	})
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if loadIssued <= storeIssued {
+		t.Errorf("load issued at %d, before/with its blocking store at %d", loadIssued, storeIssued)
+	}
+}
+
+// TestWarmupExcludesInitialization verifies statistics reset: a run with
+// warmup must report only post-warmup commits and cycles.
+func TestWarmupExcludesInitialization(t *testing.T) {
+	mk := func() *Core {
+		cfg := DefaultConfig()
+		c, err := New(cfg, []ThreadSpec{{Name: "gcc", Reader: benchStream(t, "gcc", 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c := mk()
+	if err := c.Warmup(10_000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[0].Committed < 5_000 || res.Threads[0].Committed > 6_000 {
+		t.Errorf("post-warmup committed = %d, want ~5000", res.Threads[0].Committed)
+	}
+	// Warm run must have a higher IPC than a cold run of the same
+	// budget (caches and predictors already trained).
+	cold := mk()
+	coldRes, err := cold.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= coldRes.IPC {
+		t.Errorf("warm IPC %.3f not above cold IPC %.3f", res.IPC, coldRes.IPC)
+	}
+}
+
+// TestFetchQueuePressure runs with a tiny fetch queue to exercise ring
+// wraparound and full-queue stalls.
+func TestFetchQueuePressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchQueueCap = 2
+	cfg.DispatchBufCap = 2
+	cfg.Policy = icore.TwoOpOOOD
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "gcc", Reader: benchStream(t, "gcc", 1)},
+		{Name: "gzip", Reader: benchStream(t, "gzip", 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]uint64, 2)
+	bad := false
+	c.SetCommitHook(func(u *uop.UOp) {
+		if u.Inst.Seq != next[u.Thread] {
+			bad = true
+		}
+		next[u.Thread]++
+	})
+	if _, err := c.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("tiny front-end buffers corrupted instruction order")
+	}
+}
+
+// TestMispredictPenaltyVisible compares a predictable against an
+// unpredictable branch workload: the unpredictable one must be slower.
+func TestMispredictPenaltyVisible(t *testing.T) {
+	mk := func(noisy bool) TraceReader {
+		insts := make([]isa.Inst, 32)
+		for i := range insts {
+			pc := 0x120000000 + uint64(i)*4
+			if i%4 == 3 {
+				insts[i] = isa.Inst{
+					PC: pc, Class: isa.Branch, Taken: true, Target: pc + 4,
+					Src: [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg},
+				}
+			} else {
+				insts[i] = isa.Inst{
+					PC: pc, Class: isa.IntAlu, Dest: isa.Int(5),
+					Src: [isa.MaxSources]isa.Reg{isa.Int(0), isa.NoReg},
+				}
+			}
+		}
+		return &loopReader{body: insts, noisy: noisy}
+	}
+	run := func(r TraceReader) (float64, float64) {
+		c, err := New(DefaultConfig(), []ThreadSpec{{Name: "b", Reader: r}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC, res.Threads[0].MispredictRate
+	}
+	steadyIPC, steadyMR := run(mk(false))
+	// Pseudo-random per-execution outcomes defeat gshare.
+	noisyIPC, noisyMR := run(mk(true))
+	if steadyMR > 0.05 {
+		t.Errorf("steady branch mispredict rate %.2f too high", steadyMR)
+	}
+	if noisyMR < 0.2 {
+		t.Errorf("noisy branch mispredict rate %.2f too low", noisyMR)
+	}
+	if noisyIPC >= steadyIPC {
+		t.Errorf("mispredictions cost nothing: %.3f vs %.3f IPC", noisyIPC, steadyIPC)
+	}
+}
+
+// loopReader repeats a body forever with stable PCs (so predictors can
+// learn) and fresh sequence numbers. With noisy set, branch outcomes are
+// re-randomized on every dynamic execution (targets equal fall-through,
+// so control flow stays linear while directions stay unlearnable).
+type loopReader struct {
+	body  []isa.Inst
+	noisy bool
+	pos   int
+	seq   uint64
+	x     uint64
+}
+
+func (r *loopReader) Next() isa.Inst {
+	in := r.body[r.pos%len(r.body)]
+	r.pos++
+	in.Seq = r.seq
+	r.seq++
+	if r.noisy && in.Class == isa.Branch {
+		if r.x == 0 {
+			r.x = 0x9E3779B97F4A7C15
+		}
+		r.x ^= r.x << 13
+		r.x ^= r.x >> 7
+		r.x ^= r.x << 17
+		in.Taken = r.x&1 == 0
+	}
+	return in
+}

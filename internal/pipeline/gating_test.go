@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"testing"
+
+	icore "smtsim/internal/core"
+	"smtsim/internal/isa"
+	"smtsim/internal/uop"
+)
+
+func TestParseFetchGate(t *testing.T) {
+	for _, g := range []FetchGate{GateNone, GateStall, GateFlush, GateDataMiss} {
+		back, err := ParseFetchGate(g.String())
+		if err != nil || back != g {
+			t.Errorf("round trip of %v failed: %v, %v", g, back, err)
+		}
+	}
+	if _, err := ParseFetchGate("bogus"); err == nil {
+		t.Error("garbage gate accepted")
+	}
+}
+
+// gateConfig builds a machine with the given gate over memory-bound
+// threads that miss to memory constantly.
+func gateConfig(gate FetchGate) Config {
+	cfg := DefaultConfig()
+	cfg.FetchGate = gate
+	return cfg
+}
+
+func runGate(t *testing.T, gate FetchGate, policy icore.Policy) (res interface {
+	PerThreadIPCs() []float64
+}, flushes uint64) {
+	t.Helper()
+	cfg := gateConfig(gate)
+	cfg.Policy = policy
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 1)},
+		{Name: "gzip", Reader: benchStream(t, "gzip", 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Run(15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, m.GateFlushes
+}
+
+func TestGatesRunToCompletion(t *testing.T) {
+	for _, gate := range []FetchGate{GateStall, GateFlush, GateDataMiss} {
+		for _, policy := range []icore.Policy{icore.InOrder, icore.TwoOpOOOD} {
+			if _, _ = runGate(t, gate, policy); t.Failed() {
+				t.Fatalf("gate %v policy %v failed", gate, policy)
+			}
+		}
+	}
+}
+
+func TestFlushGateActuallyFlushes(t *testing.T) {
+	_, flushes := runGate(t, GateFlush, icore.InOrder)
+	if flushes == 0 {
+		t.Error("FLUSH gate never fired on a memory-bound thread")
+	}
+	_, noFlushes := runGate(t, GateStall, icore.InOrder)
+	if noFlushes != 0 {
+		t.Error("STALL gate recorded flushes")
+	}
+}
+
+func TestFlushGatePreservesCommitOrder(t *testing.T) {
+	cfg := gateConfig(GateFlush)
+	cfg.Policy = icore.TwoOpOOOD
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 7)},
+		{Name: "swim", Reader: benchStream(t, "swim", 8)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]uint64, 2)
+	bad := false
+	c.SetCommitHook(func(u *uop.UOp) {
+		if u.Inst.Seq != next[u.Thread] {
+			bad = true
+		}
+		next[u.Thread]++
+	})
+	m, err := c.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GateFlushes == 0 {
+		t.Skip("no flush occurred; scenario did not exercise the squash path")
+	}
+	if bad {
+		t.Error("partial squash corrupted commit order")
+	}
+}
+
+func TestFlushGateConservesRegisters(t *testing.T) {
+	cfg := gateConfig(GateFlush)
+	cfg.Policy = icore.TwoOpOOOD
+	specs := []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 3)},
+		{Name: "twolf", Reader: benchStream(t, "twolf", 4)},
+	}
+	c, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Run(8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GateFlushes == 0 {
+		t.Skip("no flush occurred")
+	}
+	inFlight := 0
+	for tid := range specs {
+		if err := c.RenameTable(tid).CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+		c.ROB(tid).ForEach(func(u *uop.UOp) {
+			if u.Dest.Valid() {
+				inFlight++
+			}
+		})
+	}
+	rf := c.RegFile()
+	total := 0
+	for _, class := range []isa.RegClass{isa.IntReg, isa.FpReg} {
+		total += rf.Size(class) - rf.FreeCount(class)
+	}
+	want := len(specs)*isa.NumArchRegs*isa.NumRegClasses + inFlight
+	if total != want {
+		t.Errorf("allocated %d registers after flushes, want %d", total, want)
+	}
+}
+
+// TestStallGateBlocksFetch verifies the gate predicate directly: a
+// thread with an outstanding memory miss must not be runnable under
+// GateStall, and must be under GateNone.
+func TestStallGateBlocksFetch(t *testing.T) {
+	cfg := gateConfig(GateStall)
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.threads[0].outstandingMem = 1
+	if c.gateAllows(0) {
+		t.Error("STALL gate allowed fetch with an outstanding memory miss")
+	}
+	c.threads[0].outstandingMem = 0
+	if !c.gateAllows(0) {
+		t.Error("STALL gate blocked fetch with no outstanding miss")
+	}
+}
+
+func TestDataGateBlocksOnL1Miss(t *testing.T) {
+	cfg := gateConfig(GateDataMiss)
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.threads[0].outstandingL1D = 1
+	if c.gateAllows(0) {
+		t.Error("data gate allowed fetch with an outstanding L1D miss")
+	}
+}
+
+func TestRenameUndoRoundTrip(t *testing.T) {
+	// Undo must restore the exact pre-rename mapping; exercised here via
+	// the public flush path plus directly through a tiny scenario in the
+	// rename package's own tests. Here: squash everything after warming
+	// a machine and check consistency.
+	cfg := gateConfig(GateFlush)
+	cfg.Policy = icore.TwoOpOOOD
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "art", Reader: benchStream(t, "art", 5)},
+		{Name: "lucas", Reader: benchStream(t, "lucas", 6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 2; tid++ {
+		if err := c.RenameTable(tid).CheckConsistency(); err != nil {
+			t.Errorf("thread %d: %v", tid, err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"smtsim/internal/tracefile"
+	"smtsim/internal/workload"
+)
+
+// TestTraceReplayIsCycleExact records a benchmark's instruction stream,
+// replays it through the pipeline, and requires bit-identical timing
+// against the live generator: the trace format and cursor must be
+// completely transparent to the machine model.
+func TestTraceReplayIsCycleExact(t *testing.T) {
+	prog, err := workload.CompileBenchmark("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record enough instructions to cover the run (fetches outpace the
+	// 10k commit budget by mispredicted-but-refetched... no wrong path
+	// here, but fetch runs ahead of commit; 4x margin is plenty).
+	var buf bytes.Buffer
+	w, err := tracefile.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prog.NewStream(7)
+	for i := 0; i < 40_000; i++ {
+		if err := w.Write(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracefile.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(r TraceReader) (int64, uint64) {
+		c, err := New(DefaultConfig(), []ThreadSpec{{Name: "gcc", Reader: r}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles, res.Committed
+	}
+
+	liveCycles, liveCommitted := run(prog.NewStream(7))
+	replayCycles, replayCommitted := run(tr.Stream(false))
+	if liveCycles != replayCycles || liveCommitted != replayCommitted {
+		t.Errorf("replay diverged from live stream: (%d,%d) vs (%d,%d)",
+			replayCycles, replayCommitted, liveCycles, liveCommitted)
+	}
+}

@@ -1,0 +1,40 @@
+package power_test
+
+import (
+	"fmt"
+
+	"smtsim/internal/iq"
+	"smtsim/internal/power"
+)
+
+// Example compares the wakeup-bus hardware of the paper's queue designs:
+// the 2OP designs halve the comparators of a same-capacity traditional
+// queue, which is the paper's complexity argument in one number.
+func Example() {
+	traditional := iq.Uniform(64, 2)
+	twoOp := iq.Uniform(64, 1)
+	tagElim := iq.Partition{16, 32, 16}
+
+	fmt.Println("traditional:", power.Comparators(traditional))
+	fmt.Println("2op:        ", power.Comparators(twoOp))
+	fmt.Println("tag-elim:   ", power.Comparators(tagElim))
+	// Output:
+	// traditional: 128
+	// 2op:         64
+	// tag-elim:    64
+}
+
+// ExampleEstimate shows how identical event streams cost different
+// energy on different queue organizations.
+func ExampleEstimate() {
+	ev := power.Events{
+		Cycles: 1_000, Committed: 2_500, TagBroadcasts: 2_000,
+		DispatchesIQ: 2_500, IssuedIQ: 2_500, MeanOccupancy: 40,
+	}
+	w := power.DefaultWeights()
+	trad := power.Estimate(iq.Uniform(64, 2), w, ev)
+	twoOp := power.Estimate(iq.Uniform(64, 1), w, ev)
+	fmt.Printf("wakeup energy ratio: %.2f\n", twoOp.Wakeup/trad.Wakeup)
+	// Output:
+	// wakeup energy ratio: 0.50
+}

@@ -1,0 +1,128 @@
+// Package power provides an analytical, technology-independent energy
+// model of the dynamic scheduling logic, in the spirit of the
+// Wattch-style models the paper's companion work uses for its circuit
+// analysis. The paper's pitch is that the 2OP designs "significantly
+// reduce the complexity, access delay and power consumption of the
+// dynamic scheduling logic ... while achieving the same and in many
+// cases significantly better throughput"; this package turns simulator
+// event counts into relative energy numbers so that claim is measurable
+// here too.
+//
+// The model is deliberately unit-free: it reports energy in units of
+// "one tag comparison". Event weights are exposed so studies can plug in
+// technology numbers, but the defaults capture the structural ratios
+// that matter for comparing queue designs:
+//
+//   - Wakeup: every result broadcast drives the tag bus past every
+//     comparator in the queue (CAM precharge + compare), so its cost is
+//     proportional to the queue's total comparator count — the quantity
+//     the 2OP designs halve and tag elimination reduces further.
+//   - Select: arbitration touches every occupied entry.
+//   - Dispatch/Issue: RAM payload writes and reads per instruction.
+package power
+
+import "smtsim/internal/iq"
+
+// Weights are the relative energies of the scheduler's event types,
+// in units of one tag comparison.
+type Weights struct {
+	// Compare is the energy of one comparator observing one broadcast.
+	Compare float64
+	// SelectPerEntry is the per-occupied-entry arbitration energy per
+	// cycle.
+	SelectPerEntry float64
+	// EntryWrite is the payload RAM write energy of one dispatch.
+	EntryWrite float64
+	// EntryRead is the payload RAM read energy of one issue.
+	EntryRead float64
+	// DABAccess is the RAM energy of one deadlock-avoidance-buffer
+	// insert or issue (a small RAM, no CAM).
+	DABAccess float64
+}
+
+// DefaultWeights reflects typical CAM/RAM energy ratios: a payload
+// read/write costs on the order of a few tag comparisons, selection is
+// cheap per entry.
+func DefaultWeights() Weights {
+	return Weights{
+		Compare:        1.0,
+		SelectPerEntry: 0.2,
+		EntryWrite:     4.0,
+		EntryRead:      4.0,
+		DABAccess:      2.0,
+	}
+}
+
+// Events are the scheduler event counts of one simulation run, as
+// reported in metrics.Results.
+type Events struct {
+	// Cycles is the measured cycle count.
+	Cycles int64
+	// Committed is the number of instructions retired (the energy-per-
+	// instruction denominator).
+	Committed uint64
+	// TagBroadcasts counts completed instructions with a register
+	// destination (each drives the wakeup bus once).
+	TagBroadcasts uint64
+	// DispatchesIQ counts issue-queue entry writes.
+	DispatchesIQ uint64
+	// IssuedIQ counts issues from the queue (payload reads).
+	IssuedIQ uint64
+	// DABAccesses counts deadlock-avoidance-buffer inserts plus issues.
+	DABAccesses uint64
+	// MeanOccupancy is the average number of occupied entries per cycle.
+	MeanOccupancy float64
+}
+
+// Breakdown is the model's output.
+type Breakdown struct {
+	Wakeup   float64
+	Select   float64
+	Dispatch float64
+	Issue    float64
+	DAB      float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.Wakeup + b.Select + b.Dispatch + b.Issue + b.DAB
+}
+
+// PerInstruction divides the total by n retired instructions.
+func (b Breakdown) PerInstruction(n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return b.Total() / float64(n)
+}
+
+// Comparators returns the total tag comparators a partition wires to
+// each wakeup bus — the static hardware cost the designs trade against.
+func Comparators(p iq.Partition) int {
+	return p[1] + 2*p[2]
+}
+
+// Estimate computes the scheduler energy of a run on a queue with the
+// given entry partition.
+func Estimate(p iq.Partition, w Weights, ev Events) Breakdown {
+	comparators := float64(Comparators(p))
+	return Breakdown{
+		Wakeup:   w.Compare * comparators * float64(ev.TagBroadcasts),
+		Select:   w.SelectPerEntry * ev.MeanOccupancy * float64(ev.Cycles),
+		Dispatch: w.EntryWrite * float64(ev.DispatchesIQ),
+		Issue:    w.EntryRead * float64(ev.IssuedIQ),
+		DAB:      w.DABAccess * float64(ev.DABAccesses),
+	}
+}
+
+// EDP returns the energy-delay product per instruction: (energy per
+// instruction) x (cycles per instruction). Lower is better; it rewards
+// designs that save energy without giving back performance — the paper's
+// combined claim.
+func EDP(b Breakdown, ev Events) float64 {
+	if ev.Committed == 0 || ev.Cycles == 0 {
+		return 0
+	}
+	cpi := float64(ev.Cycles) / float64(ev.Committed)
+	return b.PerInstruction(ev.Committed) * cpi
+}

@@ -1,0 +1,83 @@
+package power
+
+import (
+	"testing"
+
+	"smtsim/internal/iq"
+)
+
+func TestComparators(t *testing.T) {
+	cases := []struct {
+		p    iq.Partition
+		want int
+	}{
+		{iq.Uniform(64, 2), 128}, // traditional: 2 per entry
+		{iq.Uniform(64, 1), 64},  // 2OP: 1 per entry — the halving
+		{iq.Uniform(64, 0), 0},
+		{iq.Partition{16, 32, 16}, 64}, // tag elimination
+	}
+	for _, c := range cases {
+		if got := Comparators(c.p); got != c.want {
+			t.Errorf("Comparators(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestEstimateStructure(t *testing.T) {
+	ev := Events{
+		Cycles: 1000, Committed: 2000, TagBroadcasts: 1500,
+		DispatchesIQ: 2000, IssuedIQ: 2000, DABAccesses: 10,
+		MeanOccupancy: 30,
+	}
+	w := DefaultWeights()
+	trad := Estimate(iq.Uniform(64, 2), w, ev)
+	twoOp := Estimate(iq.Uniform(64, 1), w, ev)
+
+	// Identical event counts: only the wakeup term differs, and by
+	// exactly the comparator ratio.
+	if trad.Wakeup != 2*twoOp.Wakeup {
+		t.Errorf("wakeup energies %v vs %v: not the 2x comparator ratio", trad.Wakeup, twoOp.Wakeup)
+	}
+	if trad.Select != twoOp.Select || trad.Dispatch != twoOp.Dispatch || trad.Issue != twoOp.Issue {
+		t.Error("non-wakeup terms depend on partition")
+	}
+	if trad.Total() <= twoOp.Total() {
+		t.Error("traditional queue not more expensive")
+	}
+	if trad.PerInstruction(ev.Committed) != trad.Total()/2000 {
+		t.Error("per-instruction division wrong")
+	}
+}
+
+func TestEstimateZeroSafe(t *testing.T) {
+	var b Breakdown
+	if b.PerInstruction(0) != 0 {
+		t.Error("zero instructions not handled")
+	}
+	if EDP(b, Events{}) != 0 {
+		t.Error("empty EDP not zero")
+	}
+}
+
+func TestEDPBalancesEnergyAndDelay(t *testing.T) {
+	w := DefaultWeights()
+	ev := Events{Cycles: 1000, Committed: 2000, TagBroadcasts: 1500,
+		DispatchesIQ: 2000, IssuedIQ: 2000, MeanOccupancy: 30}
+	slow := ev
+	slow.Cycles = 2000 // same energy, half the speed
+	b := Estimate(iq.Uniform(64, 1), w, ev)
+	bs := Estimate(iq.Uniform(64, 1), w, slow)
+	if EDP(bs, slow) <= EDP(b, ev) {
+		t.Error("EDP did not penalize the slower run")
+	}
+}
+
+func TestWakeupScalesWithBroadcasts(t *testing.T) {
+	w := DefaultWeights()
+	p := iq.Uniform(32, 1)
+	a := Estimate(p, w, Events{TagBroadcasts: 100})
+	b := Estimate(p, w, Events{TagBroadcasts: 200})
+	if b.Wakeup != 2*a.Wakeup {
+		t.Error("wakeup not linear in broadcasts")
+	}
+}

@@ -1,0 +1,151 @@
+// Package regfile models the shared physical register files of the SMT
+// machine: 256 integer and 256 floating-point registers (Table 1), each
+// with a free list and a per-register ready bit. All threads allocate from
+// the same pools, which is one of the SMT resource-sharing points the
+// paper's dispatch policies interact with.
+package regfile
+
+import (
+	"fmt"
+
+	"smtsim/internal/isa"
+)
+
+// PhysRef names one physical register: a class and an index within that
+// class's file. The zero value is not valid; use NoPhys for "absent".
+type PhysRef struct {
+	Class isa.RegClass
+	Index int16
+}
+
+// NoPhys is the absent-register sentinel.
+var NoPhys = PhysRef{Index: -1}
+
+// Valid reports whether the reference names a real physical register.
+func (p PhysRef) Valid() bool { return p.Index >= 0 }
+
+// String formats as "p17i" or "p3f", or "-" if absent.
+func (p PhysRef) String() string {
+	if !p.Valid() {
+		return "-"
+	}
+	suffix := "i"
+	if p.Class == isa.FpReg {
+		suffix = "f"
+	}
+	return fmt.Sprintf("p%d%s", p.Index, suffix)
+}
+
+// file is one class's physical register file.
+type file struct {
+	ready     []bool
+	free      []int16 // stack of free indices
+	allocated []bool
+}
+
+// File is the pair of physical register files with free lists and ready
+// bits. It is not safe for concurrent use; the simulator is single-
+// threaded per core by design (cycle-accurate state machines do not shard).
+type File struct {
+	files [isa.NumRegClasses]file
+}
+
+// New builds register files with the given number of registers per class.
+func New(intRegs, fpRegs int) *File {
+	f := &File{}
+	sizes := [isa.NumRegClasses]int{intRegs, fpRegs}
+	for c := range f.files {
+		n := sizes[c]
+		f.files[c] = file{
+			ready:     make([]bool, n),
+			free:      make([]int16, 0, n),
+			allocated: make([]bool, n),
+		}
+		// Free list as a stack, highest index first so low indices serve
+		// the initial architectural mappings.
+		for i := n - 1; i >= 0; i-- {
+			f.files[c].free = append(f.files[c].free, int16(i))
+		}
+	}
+	return f
+}
+
+// Size returns the number of physical registers in a class.
+func (f *File) Size(c isa.RegClass) int { return len(f.files[c].ready) }
+
+// FreeCount returns the number of unallocated registers in a class.
+func (f *File) FreeCount(c isa.RegClass) int { return len(f.files[c].free) }
+
+// CanAlloc reports whether at least n registers of class c are free.
+func (f *File) CanAlloc(c isa.RegClass, n int) bool { return len(f.files[c].free) >= n }
+
+// Alloc takes a register from the free list. The register starts
+// not-ready. It panics if the pool is exhausted — callers must gate
+// renaming on CanAlloc, so exhaustion here is a simulator bug.
+func (f *File) Alloc(c isa.RegClass) PhysRef {
+	fl := &f.files[c]
+	if len(fl.free) == 0 {
+		panic(fmt.Sprintf("regfile: %s pool exhausted", c))
+	}
+	idx := fl.free[len(fl.free)-1]
+	fl.free = fl.free[:len(fl.free)-1]
+	fl.ready[idx] = false
+	fl.allocated[idx] = true
+	return PhysRef{Class: c, Index: idx}
+}
+
+// AllocReady allocates a register already in the ready state, used for
+// the initial architectural mappings.
+func (f *File) AllocReady(c isa.RegClass) PhysRef {
+	p := f.Alloc(c)
+	f.files[c].ready[p.Index] = true
+	return p
+}
+
+// Free returns a register to its pool. Double frees panic: free-list
+// conservation is a core simulator invariant (tested by property tests).
+func (f *File) Free(p PhysRef) {
+	if !p.Valid() {
+		return
+	}
+	fl := &f.files[p.Class]
+	if !fl.allocated[p.Index] {
+		panic(fmt.Sprintf("regfile: double free of %s", p))
+	}
+	fl.allocated[p.Index] = false
+	fl.ready[p.Index] = false
+	fl.free = append(fl.free, p.Index)
+}
+
+// Ready reports whether the register's value has been produced.
+func (f *File) Ready(p PhysRef) bool {
+	if !p.Valid() {
+		return true // absent operands are trivially ready
+	}
+	return f.files[p.Class].ready[p.Index]
+}
+
+// SetReady marks the register's value as produced (writeback/wakeup).
+func (f *File) SetReady(p PhysRef) {
+	if !p.Valid() {
+		return
+	}
+	f.files[p.Class].ready[p.Index] = true
+}
+
+// ClearReady marks the register not-ready again (used only by rollback
+// paths in tests; normal execution sets ready exactly once per allocation).
+func (f *File) ClearReady(p PhysRef) {
+	if !p.Valid() {
+		return
+	}
+	f.files[p.Class].ready[p.Index] = false
+}
+
+// Allocated reports whether the register is currently allocated.
+func (f *File) Allocated(p PhysRef) bool {
+	if !p.Valid() {
+		return false
+	}
+	return f.files[p.Class].allocated[p.Index]
+}

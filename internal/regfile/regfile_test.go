@@ -1,0 +1,146 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtsim/internal/isa"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	f := New(8, 4)
+	if f.Size(isa.IntReg) != 8 || f.Size(isa.FpReg) != 4 {
+		t.Fatalf("sizes %d/%d", f.Size(isa.IntReg), f.Size(isa.FpReg))
+	}
+	p := f.Alloc(isa.IntReg)
+	if !p.Valid() || f.Ready(p) {
+		t.Errorf("fresh register %v should be valid and not ready", p)
+	}
+	if f.FreeCount(isa.IntReg) != 7 {
+		t.Errorf("free count %d, want 7", f.FreeCount(isa.IntReg))
+	}
+	f.SetReady(p)
+	if !f.Ready(p) {
+		t.Error("SetReady not visible")
+	}
+	f.Free(p)
+	if f.FreeCount(isa.IntReg) != 8 {
+		t.Errorf("free count %d after free, want 8", f.FreeCount(isa.IntReg))
+	}
+	if f.Allocated(p) {
+		t.Error("freed register still allocated")
+	}
+}
+
+func TestAllocReadyStartsReady(t *testing.T) {
+	f := New(4, 4)
+	p := f.AllocReady(isa.FpReg)
+	if !f.Ready(p) {
+		t.Error("AllocReady register not ready")
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	f := New(2, 2)
+	f.Alloc(isa.IntReg)
+	f.Alloc(isa.IntReg)
+	if f.CanAlloc(isa.IntReg, 1) {
+		t.Error("CanAlloc true on exhausted pool")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted Alloc did not panic")
+		}
+	}()
+	f.Alloc(isa.IntReg)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	f := New(4, 4)
+	p := f.Alloc(isa.IntReg)
+	f.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	f.Free(p)
+}
+
+func TestInvalidRefsAreInert(t *testing.T) {
+	f := New(4, 4)
+	if !f.Ready(NoPhys) {
+		t.Error("absent operand must be trivially ready")
+	}
+	f.SetReady(NoPhys) // must not panic
+	f.Free(NoPhys)     // must not panic
+	if f.Allocated(NoPhys) {
+		t.Error("NoPhys reported allocated")
+	}
+}
+
+func TestFreeClearsReady(t *testing.T) {
+	f := New(4, 4)
+	p := f.Alloc(isa.IntReg)
+	f.SetReady(p)
+	f.Free(p)
+	q := f.Alloc(isa.IntReg)
+	// Depending on free-list order we may get the same index back; a
+	// fresh allocation must never inherit a stale ready bit.
+	for q.Index != p.Index {
+		if !f.CanAlloc(isa.IntReg, 1) {
+			t.Skip("could not re-draw the same register")
+		}
+		q = f.Alloc(isa.IntReg)
+	}
+	if f.Ready(q) {
+		t.Error("recycled register inherited ready bit")
+	}
+}
+
+// TestConservationProperty: under arbitrary alloc/free sequences, the
+// number of free plus live registers equals the pool size, and no
+// register is ever handed out twice concurrently.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const n = 16
+		rf := New(n, n)
+		var live []PhysRef
+		for _, op := range ops {
+			if op%2 == 0 && rf.CanAlloc(isa.IntReg, 1) {
+				p := rf.Alloc(isa.IntReg)
+				for _, q := range live {
+					if q == p {
+						return false // double allocation
+					}
+				}
+				live = append(live, p)
+			} else if len(live) > 0 {
+				p := live[len(live)-1]
+				live = live[:len(live)-1]
+				rf.Free(p)
+			}
+			if rf.FreeCount(isa.IntReg)+len(live) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhysRefString(t *testing.T) {
+	if NoPhys.String() != "-" {
+		t.Errorf("NoPhys.String() = %q", NoPhys.String())
+	}
+	p := PhysRef{Class: isa.IntReg, Index: 17}
+	if p.String() != "p17i" {
+		t.Errorf("int ref = %q", p.String())
+	}
+	q := PhysRef{Class: isa.FpReg, Index: 3}
+	if q.String() != "p3f" {
+		t.Errorf("fp ref = %q", q.String())
+	}
+}

@@ -1,0 +1,140 @@
+// Package rename implements per-thread register renaming: a speculative
+// front-end rename table (RAT) updated at rename, and an architectural
+// table updated at commit. Each SMT thread owns one Table; all tables
+// allocate from the shared physical register file.
+//
+// Renaming always proceeds in program order within a thread — that is the
+// invariant the paper's out-of-order *dispatch* relies on to keep true
+// dependences correct (Section 4): dispatch reorders instructions that
+// are already renamed.
+package rename
+
+import (
+	"fmt"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/regfile"
+	"smtsim/internal/uop"
+)
+
+// Table is one thread's pair of rename tables.
+type Table struct {
+	rf   *regfile.File
+	spec [isa.NumRegClasses][isa.NumArchRegs]regfile.PhysRef
+	arch [isa.NumRegClasses][isa.NumArchRegs]regfile.PhysRef
+}
+
+// New builds a table whose architectural registers are bound to fresh,
+// ready physical registers (the thread's initial architectural state).
+func New(rf *regfile.File) *Table {
+	t := &Table{rf: rf}
+	for c := 0; c < isa.NumRegClasses; c++ {
+		for i := 0; i < isa.NumArchRegs; i++ {
+			p := rf.AllocReady(isa.RegClass(c))
+			t.spec[c][i] = p
+			t.arch[c][i] = p
+		}
+	}
+	return t
+}
+
+// CanRename reports whether the physical register file can supply the
+// destination of u (instructions without a destination always rename).
+func (t *Table) CanRename(u *uop.UOp) bool {
+	if !u.Inst.HasDest() {
+		return true
+	}
+	return t.rf.CanAlloc(u.Inst.Dest.Class, 1)
+}
+
+// Rename maps u's architectural operands to physical registers, allocates
+// a destination register, and updates the speculative table. It must be
+// called in program order per thread and only after CanRename.
+func (t *Table) Rename(u *uop.UOp) {
+	for i, s := range u.Inst.Src {
+		if s.Valid() {
+			u.Srcs[i] = t.spec[s.Class][s.Index]
+		} else {
+			u.Srcs[i] = regfile.NoPhys
+		}
+	}
+	if d := u.Inst.Dest; d.Valid() {
+		u.PrevDest = t.spec[d.Class][d.Index]
+		u.Dest = t.rf.Alloc(d.Class)
+		t.spec[d.Class][d.Index] = u.Dest
+	} else {
+		u.Dest = regfile.NoPhys
+		u.PrevDest = regfile.NoPhys
+	}
+}
+
+// Commit retires u: the architectural table adopts u's destination
+// mapping and the previous mapping's physical register is reclaimed.
+// Must be called in program order per thread.
+func (t *Table) Commit(u *uop.UOp) {
+	if d := u.Inst.Dest; d.Valid() {
+		t.arch[d.Class][d.Index] = u.Dest
+		t.rf.Free(u.PrevDest)
+	}
+}
+
+// SquashAll rewinds the speculative table to the committed architectural
+// state. The caller is responsible for freeing the destination registers
+// of the squashed in-flight instructions (it owns their UOps).
+func (t *Table) SquashAll() {
+	t.spec = t.arch
+}
+
+// Undo reverses one rename: the destination architectural register's
+// mapping reverts to u.PrevDest. Because renaming is in program order,
+// undoing the youngest in-flight instructions first restores any earlier
+// point exactly; Undo panics if called out of order (the speculative
+// mapping no longer names u's destination), as that indicates a squash-
+// path bug. The caller frees u.Dest.
+func (t *Table) Undo(u *uop.UOp) {
+	d := u.Inst.Dest
+	if !d.Valid() {
+		return
+	}
+	if t.spec[d.Class][d.Index] != u.Dest {
+		panic(fmt.Sprintf("rename: out-of-order undo: %s maps to %s, undoing %s",
+			d, t.spec[d.Class][d.Index], u.Dest))
+	}
+	t.spec[d.Class][d.Index] = u.PrevDest
+}
+
+// Lookup returns the current speculative mapping of an architectural
+// register (primarily for tests and invariant checks).
+func (t *Table) Lookup(r isa.Reg) regfile.PhysRef {
+	if !r.Valid() {
+		return regfile.NoPhys
+	}
+	return t.spec[r.Class][r.Index]
+}
+
+// ArchLookup returns the committed mapping of an architectural register.
+func (t *Table) ArchLookup(r isa.Reg) regfile.PhysRef {
+	if !r.Valid() {
+		return regfile.NoPhys
+	}
+	return t.arch[r.Class][r.Index]
+}
+
+// CheckConsistency verifies that every table entry names an allocated
+// physical register; it returns an error describing the first violation.
+// Used by property tests.
+func (t *Table) CheckConsistency() error {
+	for c := 0; c < isa.NumRegClasses; c++ {
+		for i := 0; i < isa.NumArchRegs; i++ {
+			for name, m := range map[string]regfile.PhysRef{"spec": t.spec[c][i], "arch": t.arch[c][i]} {
+				if !m.Valid() {
+					return fmt.Errorf("rename: %s[%s%d] unmapped", name, isa.RegClass(c), i)
+				}
+				if !t.rf.Allocated(m) {
+					return fmt.Errorf("rename: %s[%s%d] -> %s not allocated", name, isa.RegClass(c), i, m)
+				}
+			}
+		}
+	}
+	return nil
+}

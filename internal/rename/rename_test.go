@@ -1,0 +1,158 @@
+package rename
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/regfile"
+	"smtsim/internal/uop"
+)
+
+func newUOp(class isa.OpClass, dest isa.Reg, srcs ...isa.Reg) *uop.UOp {
+	u := &uop.UOp{Inst: isa.Inst{Class: class, Dest: dest}}
+	u.Inst.Src[0], u.Inst.Src[1] = isa.NoReg, isa.NoReg
+	for i, s := range srcs {
+		u.Inst.Src[i] = s
+	}
+	return u
+}
+
+func TestInitialMappingsReady(t *testing.T) {
+	rf := regfile.New(128, 128)
+	tab := New(rf)
+	for i := 0; i < isa.NumArchRegs; i++ {
+		p := tab.Lookup(isa.Int(i))
+		if !p.Valid() || !rf.Ready(p) {
+			t.Fatalf("r%d initial mapping %v not ready", i, p)
+		}
+	}
+	if err := tab.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameTracksDataflow(t *testing.T) {
+	rf := regfile.New(128, 128)
+	tab := New(rf)
+
+	// I1: r3 <- r1 + r2 ; I2: r4 <- r3 + r1 ; I3: r3 <- r3 + r4
+	u1 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(1), isa.Int(2))
+	tab.Rename(u1)
+	u2 := newUOp(isa.IntAlu, isa.Int(4), isa.Int(3), isa.Int(1))
+	tab.Rename(u2)
+	u3 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(3), isa.Int(4))
+	tab.Rename(u3)
+
+	if u2.Srcs[0] != u1.Dest {
+		t.Error("consumer not mapped to most recent producer")
+	}
+	if u3.Srcs[0] != u1.Dest || u3.Srcs[1] != u2.Dest {
+		t.Error("second consumer mis-renamed")
+	}
+	if u3.PrevDest != u1.Dest {
+		t.Error("PrevDest chain broken")
+	}
+	if u1.Dest == u3.Dest {
+		t.Error("same physical register allocated twice while live")
+	}
+}
+
+func TestCommitReclaimsPrevMapping(t *testing.T) {
+	rf := regfile.New(70, 70) // 64 for arch state + 6 spare
+	tab := New(rf)
+	free0 := rf.FreeCount(isa.IntReg)
+
+	u1 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(1), isa.Int(2))
+	tab.Rename(u1)
+	u2 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(3), isa.NoReg)
+	tab.Rename(u2)
+	if rf.FreeCount(isa.IntReg) != free0-2 {
+		t.Fatalf("free count %d after two renames", rf.FreeCount(isa.IntReg))
+	}
+	tab.Commit(u1) // frees r3's original mapping
+	tab.Commit(u2) // frees u1.Dest
+	if rf.FreeCount(isa.IntReg) != free0 {
+		// Net zero: exactly one live mapping per architectural register.
+		t.Fatalf("free count %d after commits, want %d", rf.FreeCount(isa.IntReg), free0)
+	}
+	if tab.ArchLookup(isa.Int(3)) != u2.Dest {
+		t.Error("architectural map not updated at commit")
+	}
+	if err := tab.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanRename(t *testing.T) {
+	rf := regfile.New(isa.NumArchRegs+1, isa.NumArchRegs+1) // one spare per class
+	tab := New(rf)
+	u1 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(1), isa.NoReg)
+	if !tab.CanRename(u1) {
+		t.Fatal("CanRename false with a spare register")
+	}
+	tab.Rename(u1)
+	u2 := newUOp(isa.IntAlu, isa.Int(4), isa.Int(1), isa.NoReg)
+	if tab.CanRename(u2) {
+		t.Error("CanRename true with exhausted pool")
+	}
+	// Destination-less instructions always rename.
+	br := newUOp(isa.Branch, isa.NoReg, isa.Int(1))
+	if !tab.CanRename(br) {
+		t.Error("branch blocked by register exhaustion")
+	}
+	tab.Rename(br)
+	if br.Dest.Valid() || br.PrevDest.Valid() {
+		t.Error("branch allocated a destination")
+	}
+}
+
+func TestSquashAllRestoresCommittedState(t *testing.T) {
+	rf := regfile.New(128, 128)
+	tab := New(rf)
+
+	u1 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(1), isa.Int(2))
+	tab.Rename(u1)
+	tab.Commit(u1)
+	committed := tab.Lookup(isa.Int(3))
+
+	// Two speculative writers of r3, then a flush.
+	u2 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(3), isa.NoReg)
+	tab.Rename(u2)
+	u3 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(3), isa.NoReg)
+	tab.Rename(u3)
+	tab.SquashAll()
+	rf.Free(u2.Dest)
+	rf.Free(u3.Dest)
+
+	if tab.Lookup(isa.Int(3)) != committed {
+		t.Error("speculative map not rewound to committed state")
+	}
+	if err := tab.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Renaming must work normally after the flush.
+	u4 := newUOp(isa.IntAlu, isa.Int(3), isa.Int(3), isa.NoReg)
+	tab.Rename(u4)
+	if u4.Srcs[0] != committed {
+		t.Error("post-flush rename read stale mapping")
+	}
+}
+
+func TestMultipleThreadsShareFreeList(t *testing.T) {
+	rf := regfile.New(70, 70)
+	a := New(rf)
+	b := New(rf)
+	// 64+6 int registers, 64 consumed by the two threads' arch state...
+	// wait: each table allocates 32 per class. 70 - 64 = 6 spare.
+	ua := newUOp(isa.IntAlu, isa.Int(1), isa.NoReg, isa.NoReg)
+	a.Rename(ua)
+	ub := newUOp(isa.IntAlu, isa.Int(1), isa.NoReg, isa.NoReg)
+	b.Rename(ub)
+	if ua.Dest == ub.Dest {
+		t.Error("two threads received the same physical register")
+	}
+	if rf.FreeCount(isa.IntReg) != 70-64-2 {
+		t.Errorf("free count %d", rf.FreeCount(isa.IntReg))
+	}
+}

@@ -1,0 +1,116 @@
+// Package rob implements the per-thread reorder buffer: a bounded FIFO of
+// in-flight micro-operations allocated in program order at rename and
+// drained in program order at commit (Table 1: 96 entries per thread).
+package rob
+
+import "smtsim/internal/uop"
+
+// ROB is one thread's reorder buffer, a ring buffer of UOp pointers.
+type ROB struct {
+	buf  []*uop.UOp
+	head int // oldest
+	size int
+}
+
+// New builds a reorder buffer with the given capacity.
+func New(capacity int) *ROB {
+	if capacity <= 0 {
+		panic("rob: capacity must be positive")
+	}
+	return &ROB{buf: make([]*uop.UOp, capacity)}
+}
+
+// Cap returns the capacity.
+func (r *ROB) Cap() int { return len(r.buf) }
+
+// Len returns the number of in-flight entries.
+func (r *ROB) Len() int { return r.size }
+
+// CanAlloc reports whether n more entries fit.
+func (r *ROB) CanAlloc(n int) bool { return r.size+n <= len(r.buf) }
+
+// Alloc appends u at the tail. Callers gate on CanAlloc; overflow panics.
+func (r *ROB) Alloc(u *uop.UOp) {
+	if r.size == len(r.buf) {
+		panic("rob: overflow")
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = u
+	r.size++
+}
+
+// Head returns the oldest in-flight UOp, or nil if empty.
+func (r *ROB) Head() *uop.UOp {
+	if r.size == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// PopHead removes and returns the oldest entry; nil if empty.
+func (r *ROB) PopHead() *uop.UOp {
+	if r.size == 0 {
+		return nil
+	}
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return u
+}
+
+// IsHead reports whether u is the oldest in-flight instruction — the
+// condition under which the deadlock-avoidance buffer may capture it
+// (Section 4: the ROB-oldest instruction has all sources ready by
+// definition).
+func (r *ROB) IsHead(u *uop.UOp) bool {
+	return r.size > 0 && r.buf[r.head] == u
+}
+
+// PopTail removes and returns the youngest entry; nil if empty. Used by
+// selective-squash paths, which unwind from the tail.
+func (r *ROB) PopTail() *uop.UOp {
+	if r.size == 0 {
+		return nil
+	}
+	i := (r.head + r.size - 1) % len(r.buf)
+	u := r.buf[i]
+	r.buf[i] = nil
+	r.size--
+	return u
+}
+
+// Tail returns the youngest entry without removing it; nil if empty.
+func (r *ROB) Tail() *uop.UOp {
+	if r.size == 0 {
+		return nil
+	}
+	return r.buf[(r.head+r.size-1)%len(r.buf)]
+}
+
+// DrainYoungerThan removes every entry younger than gseq and returns
+// them youngest-first (the order selective rollback must process them
+// in). Entries at or below gseq stay.
+func (r *ROB) DrainYoungerThan(gseq uint64) []*uop.UOp {
+	var out []*uop.UOp
+	for r.size > 0 && r.Tail().GSeq > gseq {
+		out = append(out, r.PopTail())
+	}
+	return out
+}
+
+// DrainAll removes every entry oldest-first and returns them in program
+// order; used by the watchdog flush path.
+func (r *ROB) DrainAll() []*uop.UOp {
+	out := make([]*uop.UOp, 0, r.size)
+	for r.size > 0 {
+		out = append(out, r.PopHead())
+	}
+	return out
+}
+
+// ForEach visits in-flight entries oldest-first.
+func (r *ROB) ForEach(fn func(*uop.UOp)) {
+	for i := 0; i < r.size; i++ {
+		fn(r.buf[(r.head+i)%len(r.buf)])
+	}
+}

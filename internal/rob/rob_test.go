@@ -1,0 +1,152 @@
+package rob
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtsim/internal/uop"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New(4)
+	us := []*uop.UOp{{GSeq: 1}, {GSeq: 2}, {GSeq: 3}}
+	for _, u := range us {
+		r.Alloc(u)
+	}
+	if r.Len() != 3 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", r.Len(), r.Cap())
+	}
+	for i, want := range us {
+		if h := r.Head(); h != want {
+			t.Fatalf("head %d = %v, want %v", i, h, want)
+		}
+		if got := r.PopHead(); got != want {
+			t.Fatalf("pop %d = %v, want %v", i, got, want)
+		}
+	}
+	if r.Head() != nil || r.PopHead() != nil {
+		t.Error("empty ROB returned an entry")
+	}
+}
+
+func TestCanAllocAndOverflow(t *testing.T) {
+	r := New(2)
+	if !r.CanAlloc(2) || r.CanAlloc(3) {
+		t.Error("CanAlloc wrong on empty ROB")
+	}
+	r.Alloc(&uop.UOp{})
+	r.Alloc(&uop.UOp{})
+	if r.CanAlloc(1) {
+		t.Error("CanAlloc true on full ROB")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	r.Alloc(&uop.UOp{})
+}
+
+func TestIsHead(t *testing.T) {
+	r := New(4)
+	a, b := &uop.UOp{GSeq: 1}, &uop.UOp{GSeq: 2}
+	r.Alloc(a)
+	r.Alloc(b)
+	if !r.IsHead(a) || r.IsHead(b) {
+		t.Error("IsHead wrong")
+	}
+	r.PopHead()
+	if !r.IsHead(b) {
+		t.Error("IsHead after pop wrong")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New(3)
+	seq := uint64(0)
+	push := func() *uop.UOp {
+		seq++
+		u := &uop.UOp{GSeq: seq}
+		r.Alloc(u)
+		return u
+	}
+	push()
+	push()
+	r.PopHead()
+	c := push()
+	d := push() // wraps
+	r.PopHead()
+	if r.Head() != c {
+		t.Error("wrap-around broke ordering")
+	}
+	r.PopHead()
+	if r.Head() != d {
+		t.Error("wrap-around lost tail entry")
+	}
+}
+
+func TestDrainAllProgramOrder(t *testing.T) {
+	r := New(8)
+	var want []*uop.UOp
+	for i := 0; i < 5; i++ {
+		u := &uop.UOp{GSeq: uint64(i)}
+		r.Alloc(u)
+		want = append(want, u)
+	}
+	got := r.DrainAll()
+	if len(got) != len(want) {
+		t.Fatalf("drained %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order broken at %d", i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Error("ROB not empty after drain")
+	}
+}
+
+func TestForEachVisitsOldestFirst(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 3; i++ {
+		r.Alloc(&uop.UOp{GSeq: uint64(i)})
+	}
+	var seen []uint64
+	r.ForEach(func(u *uop.UOp) { seen = append(seen, u.GSeq) })
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("ForEach order %v not ascending", seen)
+		}
+	}
+}
+
+// TestFIFOProperty: arbitrary interleavings of alloc and pop preserve
+// queue discipline (pops return entries in allocation order).
+func TestFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := New(16)
+		var expect []uint64
+		seq := uint64(0)
+		for _, alloc := range ops {
+			if alloc && r.CanAlloc(1) {
+				seq++
+				r.Alloc(&uop.UOp{GSeq: seq})
+				expect = append(expect, seq)
+			} else if r.Len() > 0 {
+				got := r.PopHead()
+				if got.GSeq != expect[0] {
+					return false
+				}
+				expect = expect[1:]
+			}
+			if r.Len() != len(expect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

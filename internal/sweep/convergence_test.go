@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"smtsim"
+)
+
+// TestBudgetConvergence backs DESIGN.md's claim that the synthetic
+// workloads are stationary: doubling the instruction budget must not
+// materially move a mix's IPC. This is what licenses running the
+// harness at reduced budgets.
+func TestBudgetConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence test")
+	}
+	cfg := smtsim.Config{
+		Benchmarks:         []string{"equake", "gzip"},
+		IQSize:             64,
+		Scheduler:          smtsim.TwoOpOOOD,
+		Seed:               3,
+		WarmupInstructions: 50_000,
+	}
+	ipcAt := func(budget uint64) float64 {
+		c := cfg
+		c.MaxInstructions = budget
+		res, err := smtsim.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	a := ipcAt(60_000)
+	b := ipcAt(120_000)
+	if rel := math.Abs(a-b) / b; rel > 0.15 {
+		t.Errorf("IPC moved %.1f%% when doubling the budget (%.3f -> %.3f): workload not stationary",
+			100*rel, a, b)
+	}
+}
+
+// TestSchedulerOrderingStableAcrossSeeds checks that the paper's core
+// qualitative ordering at 2 threads / 64 entries (traditional >
+// 2OP_BLOCK, OOOD > 2OP_BLOCK) is a property of the design, not of one
+// lucky seed.
+func TestSchedulerOrderingStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		ipc := map[smtsim.Scheduler]float64{}
+		for _, s := range smtsim.Schedulers {
+			res, err := smtsim.Run(smtsim.Config{
+				Benchmarks:      []string{"twolf", "vortex"},
+				IQSize:          64,
+				Scheduler:       s,
+				MaxInstructions: 30_000,
+				Seed:            seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ipc[s] = res.IPC
+		}
+		if !(ipc[smtsim.TwoOpBlock] < ipc[smtsim.Traditional]) {
+			t.Errorf("seed %d: 2OP_BLOCK (%.3f) >= traditional (%.3f)",
+				seed, ipc[smtsim.TwoOpBlock], ipc[smtsim.Traditional])
+		}
+		if !(ipc[smtsim.TwoOpOOOD] > ipc[smtsim.TwoOpBlock]) {
+			t.Errorf("seed %d: OOOD (%.3f) <= 2OP_BLOCK (%.3f)",
+				seed, ipc[smtsim.TwoOpOOOD], ipc[smtsim.TwoOpBlock])
+		}
+	}
+}

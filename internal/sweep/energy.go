@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"fmt"
+
+	"smtsim"
+	"smtsim/internal/metrics"
+	"smtsim/internal/workload"
+)
+
+// EnergyComparison quantifies the paper's combined claim — "reduces the
+// complexity ... and power consumption of the dynamic scheduling logic
+// while achieving the same and in many cases significantly better
+// throughput" — as a table of scheduler designs at one IQ size:
+// comparator count, relative scheduling energy per instruction, IPC
+// speedup, and energy-delay product, harmonically averaged over the
+// thread count's twelve mixes.
+func EnergyComparison(threads, iqSize int, o Options) (Table, error) {
+	mixes, err := workload.MixesFor(threads)
+	if err != nil {
+		return Table{}, err
+	}
+	scheds := []smtsim.Scheduler{
+		smtsim.Traditional, smtsim.TwoOpBlock, smtsim.TwoOpOOOD, smtsim.TagElimination,
+	}
+	var cells []cell
+	for _, s := range scheds {
+		for _, m := range mixes {
+			cells = append(cells, cell{mix: m, sched: s, iq: iqSize})
+		}
+	}
+	flat, err := runCells(cells, o)
+	if err != nil {
+		return Table{}, err
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Scheduling-logic cost vs performance, %d threads, IQ=%d", threads, iqSize),
+		Note:  "energy in units of one tag comparison; harmonic means over the 12 paper mixes",
+		Cols:  []string{"comparators", "energy/inst", "IPC speedup", "EDP ratio"},
+	}
+	baseIPC := make([]float64, len(mixes))
+	baseEDP := make([]float64, len(mixes))
+	for m := range mixes {
+		baseIPC[m] = flat[m].IPC
+		baseEDP[m] = flat[m].SchedulerEDP
+	}
+	for i, s := range scheds {
+		ipc := make([]float64, len(mixes))
+		edp := make([]float64, len(mixes))
+		var energy float64
+		for m := range mixes {
+			r := flat[i*len(mixes)+m]
+			ipc[m] = r.IPC
+			edp[m] = r.SchedulerEDP
+			energy += r.SchedulerEnergyPerInst / float64(len(mixes))
+		}
+		edpRatio := make([]float64, len(mixes))
+		for m := range mixes {
+			if baseEDP[m] > 0 {
+				edpRatio[m] = edp[m] / baseEDP[m]
+			}
+		}
+		t.Rows = append(t.Rows, s.String())
+		t.Values = append(t.Values, []float64{
+			float64(flat[i*len(mixes)].Comparators),
+			energy,
+			speedupRow(ipc, baseIPC),
+			metrics.HarmonicMean(edpRatio),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"fmt"
+
+	"smtsim"
+	"smtsim/internal/workload"
+)
+
+// SchedulerZoo compares every implemented scheduler design — the paper's
+// three plus the tag-elimination partitions of the related work — at one
+// IQ size across the three thread counts. Values are speedups over the
+// traditional scheduler, harmonically averaged over the mixes.
+func SchedulerZoo(iqSize int, o Options) (Table, error) {
+	scheds := []smtsim.Scheduler{
+		smtsim.Traditional, smtsim.TwoOpBlock, smtsim.TwoOpOOOD,
+		smtsim.TagElimination, smtsim.TagEliminationOOOD,
+	}
+	t := Table{
+		Title: fmt.Sprintf("All scheduler designs vs traditional, IQ=%d", iqSize),
+		Note:  "harmonic mean of per-mix IPC ratios over the 12 paper mixes",
+	}
+	for _, s := range scheds {
+		t.Cols = append(t.Cols, s.String())
+	}
+	for _, threads := range []int{2, 3, 4} {
+		mixes, err := workload.MixesFor(threads)
+		if err != nil {
+			return Table{}, err
+		}
+		var cells []cell
+		for _, s := range scheds {
+			for _, m := range mixes {
+				cells = append(cells, cell{mix: m, sched: s, iq: iqSize})
+			}
+		}
+		flat, err := runCells(cells, o)
+		if err != nil {
+			return Table{}, err
+		}
+		base := make([]float64, len(mixes))
+		for m := range mixes {
+			base[m] = flat[m].IPC
+		}
+		row := make([]float64, len(scheds))
+		for i := range scheds {
+			ipc := make([]float64, len(mixes))
+			for m := range mixes {
+				ipc[m] = flat[i*len(mixes)+m].IPC
+			}
+			row[i] = speedupRow(ipc, base)
+		}
+		t.Rows = append(t.Rows, fmt.Sprintf("%d threads", threads))
+		t.Values = append(t.Values, row)
+	}
+	return t, nil
+}
+
+// FetchGates compares the related-work fetch-gating policies (Section 6:
+// STALL, FLUSH, Data Gating) layered under each headline scheduler at
+// one IQ size on the 4-threaded mixes. Values are speedups over the same
+// scheduler without gating.
+func FetchGates(iqSize int, o Options) (Table, error) {
+	gates := []string{"none", "stall", "flush", "data-gate"}
+	scheds := []smtsim.Scheduler{smtsim.Traditional, smtsim.TwoOpOOOD}
+	mixes, err := workload.MixesFor(4)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Fetch-gating policies, 4-threaded workloads, IQ=%d", iqSize),
+		Note:  "speedup vs the same scheduler without gating; harmonic mean over the 12 mixes",
+	}
+	for _, g := range gates {
+		t.Cols = append(t.Cols, g)
+	}
+	for _, s := range scheds {
+		var cells []cell
+		for _, g := range gates {
+			gg := g
+			if gg == "none" {
+				gg = ""
+			}
+			for m := range mixes {
+				cells = append(cells, cell{mix: mixes[m], sched: s, iq: iqSize, gate: gg})
+			}
+		}
+		flat, err := runCells(cells, o)
+		if err != nil {
+			return Table{}, err
+		}
+		results := make([][]float64, len(gates))
+		for g := range gates {
+			results[g] = make([]float64, len(mixes))
+			for m := range mixes {
+				results[g][m] = flat[g*len(mixes)+m].IPC
+			}
+		}
+		row := make([]float64, len(gates))
+		for g := range gates {
+			row[g] = speedupRow(results[g], results[0])
+		}
+		t.Rows = append(t.Rows, s.String())
+		t.Values = append(t.Values, row)
+	}
+	return t, nil
+}

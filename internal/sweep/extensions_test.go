@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"smtsim"
+)
+
+func TestSchedulerZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := SchedulerZoo(48, Options{Budget: 3_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Cols) != 5 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	for _, row := range tab.Values {
+		if row[0] != 1.0 {
+			t.Errorf("baseline column = %v, want 1", row[0])
+		}
+	}
+}
+
+func TestFetchGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := FetchGates(48, Options{Budget: 3_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Cols) != 4 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	for _, row := range tab.Values {
+		if row[0] != 1.0 {
+			t.Errorf("ungated column = %v, want 1", row[0])
+		}
+		for _, v := range row {
+			if v <= 0 || v > 5 {
+				t.Errorf("implausible gate speedup %v", v)
+			}
+		}
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Rows:   []string{"r"},
+		Cols:   []string{"a", "b"},
+		Values: [][]float64{{1, 2}},
+	}
+	s := tab.RenderBars()
+	if !strings.Contains(s, "#") || !strings.Contains(s, "demo") {
+		t.Errorf("bars missing: %s", s)
+	}
+	// Larger value gets the longer bar.
+	lines := strings.Split(s, "\n")
+	var la, lb int
+	for _, l := range lines {
+		if strings.Contains(l, "a ") && strings.Contains(l, "|") {
+			la = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "b ") && strings.Contains(l, "|") {
+			lb = strings.Count(l, "#")
+		}
+	}
+	if lb <= la {
+		t.Errorf("bar lengths %d/%d not proportional", la, lb)
+	}
+}
+
+func TestPerMixSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := PerMixSpeedup(2, 64, smtsim.TwoOpBlock, Options{Budget: 2_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 || len(tab.Cols) != 3 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	for i, row := range tab.Values {
+		if row[0] <= 0 || row[1] <= 0 || row[2] <= 0 {
+			t.Errorf("mix %d degenerate: %v", i, row)
+		}
+	}
+}
+
+func TestMemoryLatencySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := MemoryLatencySweep(2, 64, []int{80, 300}, Options{Budget: 2_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cols) != 2 || len(tab.Values[0]) != 2 {
+		t.Fatalf("table shape wrong: %v", tab.Cols)
+	}
+	for _, v := range tab.Values[0] {
+		// The OOOD advantage over 2OP_BLOCK must persist at any latency.
+		if v < 1.0 {
+			t.Errorf("OOOD/2OP speedup %v below 1", v)
+		}
+	}
+}
+
+func TestFigure2Table(t *testing.T) {
+	tab := Figure2()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	want := [][2]int{{0, 0}, {1, 0}, {2, 0}, {2, 0}} // {kind column, _}
+	kinds := []int{0, 1, 2, 2}                       // DI, NDI, HDI, HDI
+	_ = want
+	for i, k := range kinds {
+		if tab.Values[i][k] != 1 {
+			t.Errorf("I%d kind column %d not set: %v", i+1, k, tab.Values[i])
+		}
+	}
+	if tab.Values[1][3] != 2 {
+		t.Errorf("I2 non-ready count %v, want 2", tab.Values[1][3])
+	}
+}

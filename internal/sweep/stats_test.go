@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"testing"
+
+	"smtsim"
+)
+
+func tinyOpts() Options { return Options{Budget: 3_000, Seed: 1} }
+
+func TestResidencyStatsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := ResidencyStats(2, 64, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Cols) != 2 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	for i, row := range tab.Values {
+		if row[0] < 0 || row[1] < 0 {
+			t.Errorf("row %d negative stats: %v", i, row)
+		}
+	}
+}
+
+func TestHDIStatsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := HDIStats(64, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Values {
+		for _, v := range row {
+			if v < 0 || v > 100 {
+				t.Errorf("percentage %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestFilterAblationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := FilterAblation(64, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Values {
+		// The paper: idealized filtering is worth ~1%; anything outside
+		// (0.8, 1.3) would mean the ablation machinery is broken.
+		if row[0] < 0.8 || row[0] > 1.3 {
+			t.Errorf("filter speedup %v implausible", row[0])
+		}
+	}
+}
+
+func TestEnergyComparisonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	tab, err := EnergyComparison(2, 64, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 is the traditional scheduler: 64x2 comparators, EDP ratio 1.
+	if tab.Values[0][0] != 128 || tab.Values[0][3] != 1.0 {
+		t.Errorf("baseline row wrong: %v", tab.Values[0])
+	}
+	// The 2OP rows halve the comparators and must cut the EDP.
+	for i := 1; i < 3; i++ {
+		if tab.Values[i][0] != 64 {
+			t.Errorf("row %d comparators = %v, want 64", i, tab.Values[i][0])
+		}
+		if tab.Values[i][3] >= 1.0 {
+			t.Errorf("row %d EDP ratio %v not below baseline", i, tab.Values[i][3])
+		}
+	}
+}
+
+// TestClassificationOrdering reruns the Section 2 methodology at tiny
+// budget and checks the classes separate: every high-ILP benchmark out-
+// runs every low-ILP benchmark single-threaded.
+func TestClassificationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep harness test")
+	}
+	get := func(b string) float64 {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:         []string{b},
+			IQSize:             64,
+			MaxInstructions:    8_000,
+			WarmupInstructions: 8_000,
+			Seed:               1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	lows := []string{"equake", "twolf", "art"}
+	highs := []string{"gzip", "vortex", "crafty"}
+	for _, lo := range lows {
+		for _, hi := range highs {
+			l, h := get(lo), get(hi)
+			if l >= h {
+				t.Errorf("%s (low, %.3f) not below %s (high, %.3f)", lo, l, hi, h)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package synth
+
+import "testing"
+
+// BenchmarkStreamNext measures trace generation, which runs once per
+// fetched instruction and must stay far cheaper than the pipeline model
+// itself.
+func BenchmarkStreamNext(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		p    Profile
+	}{
+		{"low", LowILPProfile("low")},
+		{"med", MedILPProfile("med")},
+		{"high", HighILPProfile("high")},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			s := MustCompile(mk.p, 1).NewStream(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Next()
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures static program elaboration (once per
+// benchmark per process; cheap, but worth keeping visible).
+func BenchmarkCompile(b *testing.B) {
+	p := MedILPProfile("gcc")
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(p, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package synth generates deterministic synthetic instruction streams that
+// stand in for the SPEC CPU2000 benchmarks used by the paper.
+//
+// The paper's effects depend on a handful of per-thread workload properties:
+// the distribution of non-ready source-operand counts at dispatch time
+// (driven by dependence distance and producer latency), memory-boundness
+// (cache footprint and pointer chasing), and branch predictability. A
+// Profile captures those properties; Compile turns a Profile into a static
+// loop-structured program whose dynamic expansion (Stream) is an infinite,
+// reproducible instruction trace with stable PCs, so branch predictors and
+// instruction caches see realistic repetition.
+package synth
+
+import "fmt"
+
+// ILPClass is the paper's three-way benchmark classification: low-ILP
+// benchmarks are memory bound, high-ILP benchmarks are execution bound
+// (Section 2).
+type ILPClass uint8
+
+const (
+	// LowILP marks memory-bound benchmarks (frequent long-latency misses,
+	// short dependence chains, pointer chasing).
+	LowILP ILPClass = iota
+	// MedILP marks benchmarks between the two extremes.
+	MedILP
+	// HighILP marks execution-bound benchmarks (cache-resident data,
+	// long dependence distances, predictable branches).
+	HighILP
+)
+
+// String returns "low", "med", or "high".
+func (c ILPClass) String() string {
+	switch c {
+	case LowILP:
+		return "low"
+	case MedILP:
+		return "med"
+	case HighILP:
+		return "high"
+	}
+	return fmt.Sprintf("ilp(%d)", uint8(c))
+}
+
+// TypeMix holds relative weights (not necessarily normalized) for the
+// non-branch, non-nop operation classes emitted inside basic blocks.
+// Branches are placed structurally at block boundaries.
+type TypeMix struct {
+	IntAlu  float64
+	IntMult float64
+	IntDiv  float64
+	Load    float64
+	Store   float64
+	FpAdd   float64
+	FpMult  float64
+	FpDiv   float64
+	FpSqrt  float64
+}
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark name (e.g. "equake").
+	Name string
+
+	// ILP is the paper's classification of the benchmark.
+	ILP ILPClass
+
+	// Mix weights the operation classes.
+	Mix TypeMix
+
+	// DepP is the success probability of the geometric distribution of
+	// register dependence distance: a source operand reads the value
+	// produced (statically) about 1/DepP instructions earlier. Larger
+	// DepP means shorter chains and lower ILP.
+	DepP float64
+
+	// FarSrcFrac is the probability that an instruction's second source
+	// is a long-lived register (loop invariant, base pointer, constant)
+	// rather than a recently produced value. Real code reads mostly one
+	// fresh operand plus one stable operand — the property that makes
+	// instructions with two non-ready sources a minority, which the
+	// 2OP_BLOCK design depends on.
+	FarSrcFrac float64
+
+	// WorkingSet is the data footprint in bytes; addresses of
+	// non-chasing memory operations fall inside it. Small sets stay L1
+	// resident, medium sets live in L2, large sets miss to memory.
+	WorkingSet uint64
+
+	// StridedFrac is the fraction of non-chasing memory templates that
+	// walk the working set with a fixed stride (spatial locality); the
+	// rest address it uniformly at random.
+	StridedFrac float64
+
+	// ChaseFrac is the fraction of load templates that pointer-chase:
+	// each such load's address register is the destination of the
+	// previous chase load, forming a loop-carried serial chain of
+	// cache misses — the signature of memory-bound code.
+	ChaseFrac float64
+
+	// BranchBias is the mean probability that a conditional (non
+	// back-edge) branch is taken; per-branch biases are drawn around it.
+	// Biased branches are learnable by gshare.
+	BranchBias float64
+
+	// BranchNoise is the fraction of conditional branches whose outcome
+	// is an unpredictable coin flip.
+	BranchNoise float64
+
+	// Blocks and BlockLen define the static loop body: Blocks basic
+	// blocks of BlockLen instructions each (the last instruction of a
+	// block is its branch).
+	Blocks   int
+	BlockLen int
+}
+
+// Validate reports a descriptive error if the profile is malformed.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("synth: profile has empty name")
+	case p.DepP <= 0 || p.DepP > 1:
+		return fmt.Errorf("synth: profile %q: DepP %v outside (0,1]", p.Name, p.DepP)
+	case p.WorkingSet < 64:
+		return fmt.Errorf("synth: profile %q: working set %d too small", p.Name, p.WorkingSet)
+	case p.Blocks < 1 || p.BlockLen < 2:
+		return fmt.Errorf("synth: profile %q: degenerate shape %dx%d", p.Name, p.Blocks, p.BlockLen)
+	case p.FarSrcFrac < 0 || p.FarSrcFrac > 1:
+		return fmt.Errorf("synth: profile %q: FarSrcFrac %v outside [0,1]", p.Name, p.FarSrcFrac)
+	case p.StridedFrac < 0 || p.StridedFrac > 1:
+		return fmt.Errorf("synth: profile %q: StridedFrac %v outside [0,1]", p.Name, p.StridedFrac)
+	case p.ChaseFrac < 0 || p.ChaseFrac > 1:
+		return fmt.Errorf("synth: profile %q: ChaseFrac %v outside [0,1]", p.Name, p.ChaseFrac)
+	case p.BranchBias < 0 || p.BranchBias > 1:
+		return fmt.Errorf("synth: profile %q: BranchBias %v outside [0,1]", p.Name, p.BranchBias)
+	case p.BranchNoise < 0 || p.BranchNoise > 1:
+		return fmt.Errorf("synth: profile %q: BranchNoise %v outside [0,1]", p.Name, p.BranchNoise)
+	}
+	if total := p.Mix.IntAlu + p.Mix.IntMult + p.Mix.IntDiv + p.Mix.Load + p.Mix.Store +
+		p.Mix.FpAdd + p.Mix.FpMult + p.Mix.FpDiv + p.Mix.FpSqrt; total <= 0 {
+		return fmt.Errorf("synth: profile %q: empty type mix", p.Name)
+	}
+	return nil
+}
+
+// LowILPProfile returns a memory-bound profile template with the given name.
+// Callers may tweak fields before compiling.
+func LowILPProfile(name string) Profile {
+	return Profile{
+		Name: name,
+		ILP:  LowILP,
+		Mix: TypeMix{
+			IntAlu: 0.38, IntMult: 0.02, Load: 0.32, Store: 0.12,
+			FpAdd: 0.10, FpMult: 0.06,
+		},
+		DepP: 0.18, // mean dependence distance ≈ 5.6: misses, not
+		// serial ALU chains, are what makes these benchmarks slow, so the
+		// window exposes memory-level parallelism around each miss.
+		FarSrcFrac:  0.60,
+		WorkingSet:  6 << 20,
+		StridedFrac: 0.35,
+		ChaseFrac:   0.16,
+		BranchBias:  0.88,
+		BranchNoise: 0.10,
+		Blocks:      12,
+		BlockLen:    10,
+	}
+}
+
+// MedILPProfile returns a middle-of-the-road profile template.
+func MedILPProfile(name string) Profile {
+	return Profile{
+		Name: name,
+		ILP:  MedILP,
+		Mix: TypeMix{
+			IntAlu: 0.40, IntMult: 0.04, IntDiv: 0.004, Load: 0.30, Store: 0.10,
+			FpAdd: 0.10, FpMult: 0.06,
+		},
+		DepP:        0.25, // mean dependence distance ≈ 4
+		FarSrcFrac:  0.75,
+		WorkingSet:  768 << 10,
+		StridedFrac: 0.6,
+		ChaseFrac:   0.12,
+		BranchBias:  0.90,
+		BranchNoise: 0.08,
+		Blocks:      10,
+		BlockLen:    12,
+	}
+}
+
+// HighILPProfile returns an execution-bound profile template.
+func HighILPProfile(name string) Profile {
+	return Profile{
+		Name: name,
+		ILP:  HighILP,
+		Mix: TypeMix{
+			IntAlu: 0.42, IntMult: 0.06, Load: 0.27, Store: 0.09,
+			FpAdd: 0.10, FpMult: 0.07, FpDiv: 0.01,
+		},
+		DepP:        0.24, // mean dependence distance ≈ 4.2
+		FarSrcFrac:  0.88,
+		WorkingSet:  256 << 10,
+		StridedFrac: 0.9,
+		ChaseFrac:   0.0,
+		BranchBias:  0.95,
+		BranchNoise: 0.04,
+		Blocks:      8,
+		BlockLen:    16,
+	}
+}

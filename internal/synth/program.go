@@ -1,0 +1,303 @@
+package synth
+
+import (
+	"fmt"
+
+	"smtsim/internal/isa"
+)
+
+// memMode says how a memory template computes its effective address.
+type memMode uint8
+
+const (
+	memNone memMode = iota
+	memStrided
+	memRandom
+	memChase
+)
+
+// template is one static instruction of the compiled program.
+type template struct {
+	class isa.OpClass
+	dest  isa.Reg
+	src   [isa.MaxSources]isa.Reg
+
+	// Memory behaviour.
+	mode   memMode
+	region int    // index into the program's data regions
+	stride uint64 // bytes, for memStrided
+
+	// Branch behaviour; target is a static instruction index.
+	target   int
+	bias     float64 // probability taken
+	noisy    bool    // unpredictable coin flip
+	backEdge bool    // loop back-edge: always taken
+}
+
+// numRegions is the number of independent data regions the working set is
+// split into; separate regions give strided streams distinct address bases.
+const numRegions = 4
+
+// Program is the compiled static form of a Profile: a loop body of
+// templates plus the data-region layout. A Program is immutable and safe
+// for concurrent NewStream calls.
+type Program struct {
+	profile   Profile
+	templates []template
+	// regionBase/regionSize describe the data layout; region i occupies
+	// [regionBase[i], regionBase[i]+regionSize).
+	regionBase [numRegions]uint64
+	regionSize uint64
+	codeBase   uint64
+}
+
+// Compile elaborates a profile into a static program, using seed for all
+// structural random choices (register assignment, branch biases, strides).
+// The same (profile, seed) pair always yields an identical program.
+func Compile(p Profile, seed uint64) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRNG(splitMix(seed, 0xC0DE))
+	pr := &Program{
+		profile:    p,
+		regionSize: p.WorkingSet / numRegions,
+		codeBase:   0x120000000, // Alpha-like text segment base
+	}
+	if pr.regionSize < 64 {
+		pr.regionSize = 64
+	}
+	for i := range pr.regionBase {
+		// Regions are placed far apart so they never alias in the caches.
+		pr.regionBase[i] = 0x200000000 + uint64(i)*(1<<30)
+	}
+
+	total := p.Blocks * p.BlockLen
+	pr.templates = make([]template, 0, total)
+
+	// cumulative weights for drawing op classes
+	classes, weights := mixTable(p.Mix)
+
+	// Destination register allocation: round-robin within each class over
+	// registers [4, 32); low registers are reserved as always-available
+	// "global" inputs so early instructions have somewhere to read from.
+	nextDest := [isa.NumRegClasses]int{4, 4}
+	allocDest := func(rc isa.RegClass) isa.Reg {
+		i := nextDest[rc]
+		nextDest[rc]++
+		if nextDest[rc] >= isa.NumArchRegs {
+			nextDest[rc] = 4
+		}
+		return isa.Reg{Class: rc, Index: int8(i)}
+	}
+
+	// chasePrev links pointer-chasing loads into a loop-carried chain.
+	chasePrev := isa.NoReg
+
+	// pickSrc selects a source register whose most recent static producer
+	// is about dist instructions back; falls back to a global register.
+	pickSrc := func(idx int, rc isa.RegClass) isa.Reg {
+		dist := r.geometric(p.DepP)
+		for back := dist; back < dist+total; back++ {
+			j := idx - back
+			if j < 0 {
+				break
+			}
+			t := &pr.templates[j]
+			if t.dest.Valid() && t.dest.Class == rc {
+				return t.dest
+			}
+		}
+		// Global input register r0..r3 / f0..f3.
+		return isa.Reg{Class: rc, Index: int8(r.intn(4))}
+	}
+
+	// pickSrcMix models operand stability: with probability farProb the
+	// operand is a never-rewritten global register (loop invariant, base
+	// pointer, constant), otherwise a recent producer. Second operands
+	// use the profile's FarSrcFrac; first operands are fresh more often
+	// but still read stable values part of the time, which keeps the
+	// two-non-ready-source case the minority it is in real code.
+	pickSrcMix := func(idx int, rc isa.RegClass, farProb float64) isa.Reg {
+		if r.float() < farProb {
+			return isa.Reg{Class: rc, Index: int8(r.intn(4))}
+		}
+		return pickSrc(idx, rc)
+	}
+	pickSrcFar := func(idx int, rc isa.RegClass) isa.Reg {
+		return pickSrcMix(idx, rc, p.FarSrcFrac)
+	}
+	// First operands are freshly produced values: the common case in
+	// dependence chains, and the reason instructions usually enter the
+	// queue with exactly one non-ready source.
+	pickSrcFresh := func(idx int, rc isa.RegClass) isa.Reg {
+		return pickSrcMix(idx, rc, 0.10)
+	}
+
+	for b := 0; b < p.Blocks; b++ {
+		for k := 0; k < p.BlockLen; k++ {
+			idx := len(pr.templates)
+			last := k == p.BlockLen-1
+			if last {
+				// Block-terminating branch.
+				t := template{
+					class: isa.Branch,
+					dest:  isa.NoReg,
+					src:   [isa.MaxSources]isa.Reg{pickSrcFresh(idx, isa.IntReg), isa.NoReg},
+				}
+				if b == p.Blocks-1 {
+					t.backEdge = true
+					t.target = 0
+					t.bias = 1
+				} else {
+					// Taken path skips the next block (when there is
+					// one to skip); otherwise it goes to the next block.
+					t.target = (b + 2) * p.BlockLen % total
+					if t.target == 0 {
+						t.target = (b + 1) * p.BlockLen
+					}
+					t.noisy = r.float() < p.BranchNoise
+					// Per-branch bias around the profile mean; half the
+					// branches are "mostly not taken" mirrors.
+					bias := p.BranchBias + (r.float()-0.5)*0.08
+					if r.float() < 0.5 {
+						bias = 1 - bias
+					}
+					t.bias = clamp01(bias)
+				}
+				pr.templates = append(pr.templates, t)
+				continue
+			}
+
+			class := drawClass(r, classes, weights)
+			t := template{class: class, dest: isa.NoReg}
+			t.src[0], t.src[1] = isa.NoReg, isa.NoReg
+
+			switch class {
+			case isa.Load:
+				rc := isa.IntReg
+				if p.Mix.FpAdd+p.Mix.FpMult > 0 && r.float() < 0.4 {
+					rc = isa.FpReg
+				}
+				if r.float() < p.ChaseFrac {
+					// Pointer chase: integer destination feeding the
+					// next chase load's address.
+					t.mode = memChase
+					t.dest = allocDest(isa.IntReg)
+					if chasePrev.Valid() {
+						t.src[0] = chasePrev
+					} else {
+						t.src[0] = t.dest // loop-carried self chain
+					}
+					chasePrev = t.dest
+				} else {
+					t.dest = allocDest(rc)
+					t.src[0] = pickSrcFar(idx, isa.IntReg)
+					t.region = r.intn(numRegions)
+					if r.float() < p.StridedFrac {
+						t.mode = memStrided
+						t.stride = uint64(8 << r.intn(5)) // 8..128 bytes
+					} else {
+						t.mode = memRandom
+					}
+				}
+			case isa.Store:
+				rc := isa.IntReg
+				if p.Mix.FpAdd+p.Mix.FpMult > 0 && r.float() < 0.4 {
+					rc = isa.FpReg
+				}
+				t.src[0] = pickSrcFresh(idx, rc)       // data
+				t.src[1] = pickSrcFar(idx, isa.IntReg) // address
+				t.region = r.intn(numRegions)
+				if r.float() < p.StridedFrac {
+					t.mode = memStrided
+					t.stride = uint64(8 << r.intn(5))
+				} else {
+					t.mode = memRandom
+				}
+			default:
+				rc := isa.IntReg
+				if class.IsFloat() {
+					rc = isa.FpReg
+				}
+				t.dest = allocDest(rc)
+				t.src[0] = pickSrcFresh(idx, rc)
+				// Most ALU ops are two-source; some (moves, immediates)
+				// have a single register source. The second source is
+				// usually a stable operand.
+				if r.float() < 0.8 {
+					t.src[1] = pickSrcFar(idx, rc)
+				}
+			}
+			pr.templates = append(pr.templates, t)
+		}
+	}
+	if len(pr.templates) != total {
+		return nil, fmt.Errorf("synth: internal error: compiled %d of %d templates", len(pr.templates), total)
+	}
+	return pr, nil
+}
+
+// MustCompile is Compile that panics on error, for profiles known valid at
+// build time (the workload tables).
+func MustCompile(p Profile, seed uint64) *Program {
+	pr, err := Compile(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Profile returns the profile the program was compiled from.
+func (pr *Program) Profile() Profile { return pr.profile }
+
+// StaticSize returns the number of static instructions in the loop body.
+func (pr *Program) StaticSize() int { return len(pr.templates) }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// mixTable flattens a TypeMix into parallel class/weight slices with
+// cumulative weights for O(log n)-free linear draws (the table is tiny).
+func mixTable(m TypeMix) ([]isa.OpClass, []float64) {
+	classes := []isa.OpClass{
+		isa.IntAlu, isa.IntMult, isa.IntDiv, isa.Load, isa.Store,
+		isa.FpAdd, isa.FpMult, isa.FpDiv, isa.FpSqrt,
+	}
+	raw := []float64{
+		m.IntAlu, m.IntMult, m.IntDiv, m.Load, m.Store,
+		m.FpAdd, m.FpMult, m.FpDiv, m.FpSqrt,
+	}
+	var cum []float64
+	var kept []isa.OpClass
+	sum := 0.0
+	for i, w := range raw {
+		if w <= 0 {
+			continue
+		}
+		sum += w
+		cum = append(cum, sum)
+		kept = append(kept, classes[i])
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+	return kept, cum
+}
+
+func drawClass(r *rng, classes []isa.OpClass, cum []float64) isa.OpClass {
+	x := r.float()
+	for i, c := range cum {
+		if x < c {
+			return classes[i]
+		}
+	}
+	return classes[len(classes)-1]
+}

@@ -1,0 +1,55 @@
+package synth
+
+// rng is a small, fast, deterministic xorshift64* generator. The simulator
+// must be reproducible across runs and platforms, and must not depend on
+// math/rand global state, so every stochastic component owns one of these
+// seeded explicitly.
+type rng struct{ state uint64 }
+
+// newRNG returns a generator seeded from seed; a zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+// next returns the next 64-bit pseudo-random value.
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intn returns a value uniform in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value uniform in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// geometric returns a value >= 1 distributed geometrically with success
+// probability p (mean 1/p). p must be in (0, 1].
+func (r *rng) geometric(p float64) int {
+	n := 1
+	for r.float() >= p && n < 64 {
+		n++
+	}
+	return n
+}
+
+// splitMix derives an independent stream seed from a base seed and a salt,
+// so per-thread and per-structure generators do not correlate.
+func splitMix(seed, salt uint64) uint64 {
+	z := seed + salt*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

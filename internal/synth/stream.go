@@ -1,0 +1,97 @@
+package synth
+
+import "smtsim/internal/isa"
+
+// Stream is the dynamic expansion of a Program: an infinite, deterministic
+// instruction trace. A Stream is single-goroutine; create one per thread.
+type Stream struct {
+	prog *Program
+	r    *rng
+
+	pc  int // static index of the next instruction
+	seq uint64
+
+	// addrOffset relocates the stream's data regions so that distinct
+	// threads — even two copies of the same benchmark — live in disjoint
+	// address spaces, as separate processes do. Without it, co-scheduled
+	// threads would warm each other's lines in the shared caches.
+	addrOffset uint64
+
+	// Per-template strided-access counters.
+	strideCount []uint64
+	// Pointer-chase cursor: the current position of the chase walk,
+	// expressed as a byte offset into region 0's chase arena.
+	chaseOff uint64
+}
+
+// NewStream returns a fresh trace over the program. Streams with different
+// seeds differ in data addresses and branch outcomes but share the static
+// code, like different inputs to the same binary.
+func (pr *Program) NewStream(seed uint64) *Stream {
+	return &Stream{
+		prog: pr,
+		r:    newRNG(splitMix(seed, 0x57EA)),
+		// 4KB-aligned offset within a 16TB window: regions stay far from
+		// each other and from other streams'.
+		addrOffset:  splitMix(seed, 0xADD5) & ((1 << 44) - 1) &^ 0xFFF,
+		strideCount: make([]uint64, len(pr.templates)),
+	}
+}
+
+// align8 keeps data addresses 8-byte aligned, as the pipeline assumes
+// naturally aligned doubleword accesses.
+func align8(x uint64) uint64 { return x &^ 7 }
+
+// Next produces the next dynamic instruction. It never fails; traces are
+// infinite and the harness bounds runs by instruction budget.
+func (s *Stream) Next() isa.Inst {
+	pr := s.prog
+	t := &pr.templates[s.pc]
+	in := isa.Inst{
+		PC:    pr.codeBase + uint64(s.pc)*4,
+		Class: t.class,
+		Src:   t.src,
+		Dest:  t.dest,
+		Seq:   s.seq,
+	}
+	s.seq++
+
+	switch t.mode {
+	case memStrided:
+		off := (s.strideCount[s.pc] * t.stride) % pr.regionSize
+		s.strideCount[s.pc]++
+		in.Addr = align8(s.addrOffset + pr.regionBase[t.region] + off)
+	case memRandom:
+		in.Addr = align8(s.addrOffset + pr.regionBase[t.region] + s.r.next()%pr.regionSize)
+	case memChase:
+		// The chase walk covers the full working set: a deterministic
+		// pseudo-random permutation step derived from the current
+		// offset, emulating a linked-list traversal whose next pointer
+		// is loaded by this instruction.
+		in.Addr = align8(s.addrOffset + pr.regionBase[0] + s.chaseOff%pr.regionSize)
+		s.chaseOff = splitMix(s.chaseOff, 0xC4A5E)
+	}
+
+	next := s.pc + 1
+	if t.class == isa.Branch {
+		taken := false
+		switch {
+		case t.backEdge:
+			taken = true
+		case t.noisy:
+			taken = s.r.float() < 0.5
+		default:
+			taken = s.r.float() < t.bias
+		}
+		in.Taken = taken
+		in.Target = pr.codeBase + uint64(t.target)*4
+		if taken {
+			next = t.target
+		}
+	}
+	if next >= len(pr.templates) {
+		next = 0
+	}
+	s.pc = next
+	return in
+}

@@ -1,0 +1,283 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtsim/internal/isa"
+)
+
+func TestProfileValidation(t *testing.T) {
+	good := LowILPProfile("x")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("template profile invalid: %v", err)
+	}
+	cases := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.DepP = 0 },
+		func(p *Profile) { p.DepP = 1.5 },
+		func(p *Profile) { p.WorkingSet = 8 },
+		func(p *Profile) { p.Blocks = 0 },
+		func(p *Profile) { p.BlockLen = 1 },
+		func(p *Profile) { p.FarSrcFrac = -0.1 },
+		func(p *Profile) { p.StridedFrac = 2 },
+		func(p *Profile) { p.ChaseFrac = -1 },
+		func(p *Profile) { p.BranchBias = 1.2 },
+		func(p *Profile) { p.BranchNoise = -0.5 },
+		func(p *Profile) { p.Mix = TypeMix{} },
+	}
+	for i, mut := range cases {
+		p := LowILPProfile("x")
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	p := MedILPProfile("gcc")
+	prog, err := Compile(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.StaticSize() != p.Blocks*p.BlockLen {
+		t.Errorf("static size %d, want %d", prog.StaticSize(), p.Blocks*p.BlockLen)
+	}
+	// Every block ends in a branch; no other instruction is a branch.
+	for i, tmpl := range prog.templates {
+		isLast := (i+1)%p.BlockLen == 0
+		if isLast != (tmpl.class == isa.Branch) {
+			t.Fatalf("template %d: branch placement wrong (class %v)", i, tmpl.class)
+		}
+	}
+	// The final branch is the loop back-edge to instruction 0.
+	last := prog.templates[len(prog.templates)-1]
+	if !last.backEdge || last.target != 0 {
+		t.Error("loop back-edge missing")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	p := HighILPProfile("gzip")
+	a := MustCompile(p, 7)
+	b := MustCompile(p, 7)
+	sa := a.NewStream(3)
+	sb := b.NewStream(3)
+	for i := 0; i < 10_000; i++ {
+		x, y := sa.Next(), sb.Next()
+		if x != y {
+			t.Fatalf("streams diverged at %d: %v vs %v", i, &x, &y)
+		}
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	p := LowILPProfile("art")
+	prog := MustCompile(p, 7)
+	a, b := prog.NewStream(1), prog.NewStream(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Addr == y.Addr && x.Taken == y.Taken {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical dynamics")
+	}
+}
+
+func TestStreamRespectsOperandArity(t *testing.T) {
+	for _, p := range []Profile{LowILPProfile("a"), MedILPProfile("b"), HighILPProfile("c")} {
+		prog := MustCompile(p, 11)
+		s := prog.NewStream(1)
+		for i := 0; i < 5000; i++ {
+			in := s.Next()
+			switch in.Class {
+			case isa.Load:
+				if !in.Dest.Valid() || !in.Src[0].Valid() {
+					t.Fatalf("load missing dest or address source: %v", &in)
+				}
+				if in.Addr == 0 {
+					t.Fatalf("load with zero address")
+				}
+			case isa.Store:
+				if in.Dest.Valid() {
+					t.Fatalf("store with a destination: %v", &in)
+				}
+				if !in.Src[0].Valid() || !in.Src[1].Valid() {
+					t.Fatalf("store missing data or address source: %v", &in)
+				}
+			case isa.Branch:
+				if in.Dest.Valid() {
+					t.Fatalf("branch with a destination")
+				}
+				if in.Target == 0 {
+					t.Fatalf("branch with zero target")
+				}
+			default:
+				if !in.Dest.Valid() {
+					t.Fatalf("%v without destination", in.Class)
+				}
+			}
+			for _, src := range in.Src {
+				if src.Valid() && (src.Index < 0 || src.Index >= isa.NumArchRegs) {
+					t.Fatalf("source register out of range: %v", src)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamControlFlowConsistent(t *testing.T) {
+	prog := MustCompile(MedILPProfile("vpr"), 5)
+	s := prog.NewStream(9)
+	prev := s.Next()
+	for i := 0; i < 20_000; i++ {
+		cur := s.Next()
+		if prev.Class == isa.Branch && prev.Taken {
+			if cur.PC != prev.Target {
+				t.Fatalf("taken branch at %#x targeted %#x but next PC %#x", prev.PC, prev.Target, cur.PC)
+			}
+		} else if cur.PC != prev.PC+4 && prev.PC != prog.codeBase+uint64(prog.StaticSize()-1)*4 {
+			t.Fatalf("fall-through broken: %#x -> %#x", prev.PC, cur.PC)
+		}
+		prev = cur
+	}
+}
+
+func TestStreamSequenceNumbers(t *testing.T) {
+	prog := MustCompile(HighILPProfile("mesa"), 3)
+	s := prog.NewStream(1)
+	for i := uint64(0); i < 1000; i++ {
+		if in := s.Next(); in.Seq != i {
+			t.Fatalf("seq %d at position %d", in.Seq, i)
+		}
+	}
+}
+
+func TestAddressesWithinWorkingSet(t *testing.T) {
+	p := MedILPProfile("applu")
+	prog := MustCompile(p, 13)
+	s := prog.NewStream(1)
+	for i := 0; i < 20_000; i++ {
+		in := s.Next()
+		if !in.Class.IsMem() {
+			continue
+		}
+		ok := false
+		for r := 0; r < numRegions; r++ {
+			base := s.addrOffset + prog.regionBase[r]
+			if in.Addr >= base && in.Addr < base+prog.regionSize {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("address %#x outside all regions", in.Addr)
+		}
+		if in.Addr%8 != 0 {
+			t.Fatalf("misaligned address %#x", in.Addr)
+		}
+	}
+}
+
+// TestStreamsHaveDisjointAddressSpaces: two streams of the same program
+// must not touch the same data blocks (separate processes), so threads
+// cannot warm each other's lines in the shared caches.
+func TestStreamsHaveDisjointAddressSpaces(t *testing.T) {
+	prog := MustCompile(MedILPProfile("applu"), 13)
+	a, b := prog.NewStream(1), prog.NewStream(2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 20_000; i++ {
+		if in := a.Next(); in.Class.IsMem() {
+			seen[in.Addr>>12] = true
+		}
+	}
+	overlap := 0
+	for i := 0; i < 20_000; i++ {
+		if in := b.Next(); in.Class.IsMem() && seen[in.Addr>>12] {
+			overlap++
+		}
+	}
+	if overlap > 0 {
+		t.Errorf("%d page-granule address collisions between streams", overlap)
+	}
+}
+
+func TestChaseLoadsFormChain(t *testing.T) {
+	p := LowILPProfile("twolf")
+	p.ChaseFrac = 1.0 // every load chases
+	prog := MustCompile(p, 17)
+	found := false
+	for _, tmpl := range prog.templates {
+		if tmpl.mode == memChase {
+			found = true
+			if !tmpl.src[0].Valid() || tmpl.src[0].Class != isa.IntReg {
+				t.Error("chase load address source malformed")
+			}
+		}
+	}
+	if !found {
+		t.Error("no chase loads generated at ChaseFrac=1")
+	}
+}
+
+func TestRNGProperties(t *testing.T) {
+	r := newRNG(0) // zero seed remapped
+	if r.state == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+	// intn stays in range; float in [0,1); geometric >= 1.
+	f := func(n uint16, p uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.intn(int(n))
+		if v < 0 || v >= int(n) {
+			return false
+		}
+		x := r.float()
+		if x < 0 || x >= 1 {
+			return false
+		}
+		g := r.geometric(float64(p%99+1) / 100)
+		return g >= 1 && g <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricMeanRoughlyMatches(t *testing.T) {
+	r := newRNG(99)
+	const p = 0.25
+	sum := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		sum += r.geometric(p)
+	}
+	mean := float64(sum) / n
+	if mean < 3.5 || mean > 4.5 {
+		t.Errorf("geometric(0.25) mean = %.2f, want ~4", mean)
+	}
+}
+
+func TestSplitMixIndependence(t *testing.T) {
+	a := splitMix(1, 1)
+	b := splitMix(1, 2)
+	c := splitMix(2, 1)
+	if a == b || a == c || b == c {
+		t.Error("splitMix collisions on trivial inputs")
+	}
+}
+
+func TestILPClassString(t *testing.T) {
+	if LowILP.String() != "low" || MedILP.String() != "med" || HighILP.String() != "high" {
+		t.Error("class names wrong")
+	}
+	if ILPClass(9).String() == "" {
+		t.Error("unknown class empty")
+	}
+}

@@ -1,0 +1,298 @@
+// Package tracefile provides a compact binary format for recording and
+// replaying dynamic instruction traces. The paper's methodology runs
+// SPEC binaries under an execution-driven simulator; this package is the
+// bring-your-own-trace escape hatch: any trace converted to this format
+// (from a real pipeline tracer, another simulator, or this repository's
+// synthetic generator) drives the same machine model.
+//
+// Format: a 8-byte header ("SMTTRC" + 2-byte version), then one varint-
+// encoded record per instruction. PCs and data addresses are
+// delta-encoded against the previous record, which compresses the loopy
+// traces real programs produce to a few bytes per instruction.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"smtsim/internal/isa"
+)
+
+var magic = [8]byte{'S', 'M', 'T', 'T', 'R', 'C', 0, 1}
+
+// ErrBadHeader reports a file that is not a version-1 trace.
+var ErrBadHeader = errors.New("tracefile: bad header")
+
+// Writer streams instructions into a trace file.
+type Writer struct {
+	w      *bufio.Writer
+	closer io.Closer
+	n      uint64
+
+	lastPC   uint64
+	lastAddr uint64
+	buf      []byte
+}
+
+// Create opens path for writing and emits the header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{w: bufio.NewWriter(f), closer: f, buf: make([]byte, 0, 64)}
+	if _, err := w.w.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// NewWriter writes a trace to an arbitrary stream (no Close of the
+// underlying writer).
+func NewWriter(dst io.Writer) (*Writer, error) {
+	w := &Writer{w: bufio.NewWriter(dst), buf: make([]byte, 0, 64)}
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// regCode packs a register operand into one byte: 0 = absent,
+// 1..64 = (class, index)+1.
+func regCode(r isa.Reg) byte {
+	if !r.Valid() {
+		return 0
+	}
+	return byte(int(r.Class)*isa.NumArchRegs+int(r.Index)) + 1
+}
+
+func regDecode(b byte) (isa.Reg, error) {
+	if b == 0 {
+		return isa.NoReg, nil
+	}
+	v := int(b) - 1
+	if v >= isa.NumRegClasses*isa.NumArchRegs {
+		return isa.NoReg, fmt.Errorf("tracefile: register code %d out of range", b)
+	}
+	return isa.Reg{Class: isa.RegClass(v / isa.NumArchRegs), Index: int8(v % isa.NumArchRegs)}, nil
+}
+
+// Write appends one instruction to the trace. Seq fields are not stored;
+// position in the file defines them.
+func (w *Writer) Write(in isa.Inst) error {
+	b := w.buf[:0]
+	flags := byte(in.Class)
+	if in.Taken {
+		flags |= 0x80
+	}
+	b = append(b, flags, regCode(in.Src[0]), regCode(in.Src[1]), regCode(in.Dest))
+	b = binary.AppendUvarint(b, zigzag(int64(in.PC-w.lastPC)))
+	w.lastPC = in.PC
+	if in.Class.IsMem() {
+		b = binary.AppendUvarint(b, zigzag(int64(in.Addr-w.lastAddr)))
+		w.lastAddr = in.Addr
+	}
+	if in.Class == isa.Branch {
+		b = binary.AppendUvarint(b, zigzag(int64(in.Target-in.PC)))
+	}
+	w.buf = b
+	w.n++
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Count returns the number of instructions written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Close flushes buffers and closes the underlying file, if any.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// Trace is a fully decoded in-memory trace.
+type Trace struct {
+	Insts []isa.Inst
+}
+
+// Load reads and decodes a trace file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Decode reads a full trace from a stream.
+func Decode(src io.Reader) (*Trace, error) {
+	r := bufio.NewReader(src)
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if hdr != magic {
+		return nil, ErrBadHeader
+	}
+	t := &Trace{}
+	var lastPC, lastAddr uint64
+	var seq uint64
+	for {
+		flags, err := r.ReadByte()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var in isa.Inst
+		in.Class = isa.OpClass(flags & 0x7F)
+		if in.Class >= isa.NumOpClasses {
+			return nil, fmt.Errorf("tracefile: record %d: bad op class %d", seq, in.Class)
+		}
+		in.Taken = flags&0x80 != 0
+		var regs [3]byte
+		if _, err := io.ReadFull(r, regs[:]); err != nil {
+			return nil, fmt.Errorf("tracefile: record %d truncated: %v", seq, err)
+		}
+		if in.Src[0], err = regDecode(regs[0]); err != nil {
+			return nil, err
+		}
+		if in.Src[1], err = regDecode(regs[1]); err != nil {
+			return nil, err
+		}
+		if in.Dest, err = regDecode(regs[2]); err != nil {
+			return nil, err
+		}
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: record %d truncated PC: %v", seq, err)
+		}
+		in.PC = lastPC + uint64(unzigzag(d))
+		lastPC = in.PC
+		if in.Class.IsMem() {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("tracefile: record %d truncated addr: %v", seq, err)
+			}
+			in.Addr = lastAddr + uint64(unzigzag(d))
+			lastAddr = in.Addr
+		}
+		if in.Class == isa.Branch {
+			d, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, fmt.Errorf("tracefile: record %d truncated target: %v", seq, err)
+			}
+			in.Target = in.PC + uint64(unzigzag(d))
+		}
+		in.Seq = seq
+		seq++
+		t.Insts = append(t.Insts, in)
+	}
+}
+
+// Len returns the number of instructions in the trace.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// Stream returns a replay cursor over the trace. When loop is true the
+// cursor wraps around forever (sequence numbers keep increasing), which
+// is what the pipeline's infinite-trace contract expects; a non-looping
+// cursor panics when exhausted, so size the run budget accordingly.
+func (t *Trace) Stream(loop bool) *Cursor {
+	if t.Len() == 0 {
+		panic("tracefile: empty trace")
+	}
+	return &Cursor{t: t, loop: loop}
+}
+
+// Cursor replays a Trace, implementing the pipeline's TraceReader.
+type Cursor struct {
+	t    *Trace
+	pos  int
+	seq  uint64
+	loop bool
+}
+
+// Next returns the next instruction.
+func (c *Cursor) Next() isa.Inst {
+	if c.pos >= len(c.t.Insts) {
+		if !c.loop {
+			panic("tracefile: trace exhausted (use a looping cursor or a larger trace)")
+		}
+		c.pos = 0
+	}
+	in := c.t.Insts[c.pos]
+	c.pos++
+	in.Seq = c.seq
+	c.seq++
+	return in
+}
+
+// Source is anything that yields instructions (the pipeline's
+// TraceReader without the import cycle).
+type Source interface {
+	Next() isa.Inst
+}
+
+// Record drains n instructions from src into a new trace file at path.
+func Record(src Source, n uint64, path string) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := w.Write(src.Next()); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Stats summarizes a trace for inspection tools.
+type Stats struct {
+	Count     uint64
+	ClassMix  [isa.NumOpClasses]uint64
+	Branches  uint64
+	Taken     uint64
+	UniquePCs int
+	Footprint uint64 // distinct 64-byte data blocks touched
+}
+
+// Analyze computes summary statistics.
+func (t *Trace) Analyze() Stats {
+	s := Stats{Count: uint64(t.Len())}
+	pcs := map[uint64]struct{}{}
+	blocks := map[uint64]struct{}{}
+	for _, in := range t.Insts {
+		s.ClassMix[in.Class]++
+		pcs[in.PC] = struct{}{}
+		if in.Class == isa.Branch {
+			s.Branches++
+			if in.Taken {
+				s.Taken++
+			}
+		}
+		if in.Class.IsMem() {
+			blocks[in.Addr>>6] = struct{}{}
+		}
+	}
+	s.UniquePCs = len(pcs)
+	s.Footprint = uint64(len(blocks)) * 64
+	return s
+}

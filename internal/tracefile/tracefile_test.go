@@ -1,0 +1,183 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/workload"
+)
+
+func sampleTrace(t *testing.T, n int) []isa.Inst {
+	t.Helper()
+	prog, err := workload.CompileBenchmark("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.NewStream(1)
+	out := make([]isa.Inst, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	insts := sampleTrace(t, 5000)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(insts) {
+		t.Fatalf("decoded %d, want %d", tr.Len(), len(insts))
+	}
+	for i, got := range tr.Insts {
+		if got != insts[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got, insts[i])
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	insts := sampleTrace(t, 10_000)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, in := range insts {
+		w.Write(in)
+	}
+	w.Close()
+	perInst := float64(buf.Len()) / float64(len(insts))
+	if perInst > 12 {
+		t.Errorf("%.1f bytes/instruction; delta encoding ineffective", perInst)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.smttrc")
+	prog, err := workload.CompileBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Record(prog.NewStream(2), 1000, path); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("loaded %d records", tr.Len())
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("NOTATRACE"))); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad header error = %v", err)
+	}
+	if _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("empty stream error = %v", err)
+	}
+}
+
+func TestTruncatedRecordRejected(t *testing.T) {
+	insts := sampleTrace(t, 100)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, in := range insts {
+		w.Write(in)
+	}
+	w.Close()
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := Decode(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated trace decoded without error")
+	}
+}
+
+func TestCursorLoopsWithMonotonicSeq(t *testing.T) {
+	tr := &Trace{Insts: sampleTrace(t, 10)}
+	c := tr.Stream(true)
+	var last uint64
+	for i := 0; i < 35; i++ {
+		in := c.Next()
+		if i > 0 && in.Seq != last+1 {
+			t.Fatalf("seq %d after %d", in.Seq, last)
+		}
+		last = in.Seq
+	}
+}
+
+func TestCursorExhaustionPanics(t *testing.T) {
+	tr := &Trace{Insts: sampleTrace(t, 3)}
+	c := tr.Stream(false)
+	c.Next()
+	c.Next()
+	c.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted cursor did not panic")
+		}
+	}()
+	c.Next()
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := &Trace{Insts: sampleTrace(t, 20_000)}
+	s := tr.Analyze()
+	if s.Count != 20_000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Branches == 0 || s.Taken == 0 || s.Taken > s.Branches {
+		t.Errorf("branch stats implausible: %d/%d", s.Taken, s.Branches)
+	}
+	if s.UniquePCs == 0 || s.Footprint == 0 {
+		t.Error("pc/footprint stats empty")
+	}
+	var mem uint64
+	for _, c := range []isa.OpClass{isa.Load, isa.Store} {
+		mem += s.ClassMix[c]
+	}
+	if mem == 0 {
+		t.Error("no memory operations in gcc trace")
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegCodeRoundTrip(t *testing.T) {
+	for class := 0; class < isa.NumRegClasses; class++ {
+		for i := 0; i < isa.NumArchRegs; i++ {
+			r := isa.Reg{Class: isa.RegClass(class), Index: int8(i)}
+			got, err := regDecode(regCode(r))
+			if err != nil || got != r {
+				t.Fatalf("round trip of %v failed: %v, %v", r, got, err)
+			}
+		}
+	}
+	if got, err := regDecode(regCode(isa.NoReg)); err != nil || got.Valid() {
+		t.Error("NoReg round trip failed")
+	}
+	if _, err := regDecode(255); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+}

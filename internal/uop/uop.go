@@ -1,0 +1,126 @@
+// Package uop defines the in-flight micro-operation record shared by the
+// rename, dispatch, issue-queue, ROB, and LSQ models. A UOp wraps one
+// dynamic instruction from the trace with its renamed operands and the
+// timestamps the metrics package aggregates.
+package uop
+
+import (
+	"smtsim/internal/isa"
+	"smtsim/internal/regfile"
+)
+
+// NoCycle marks a timestamp that has not happened yet.
+const NoCycle int64 = -1
+
+// UOp is one in-flight instruction. The pipeline owns UOps via pointers;
+// a UOp lives from rename until commit (or squash) and is then recycled.
+type UOp struct {
+	// Inst is the immutable trace record.
+	Inst isa.Inst
+
+	// Thread is the hardware thread context id.
+	Thread int
+
+	// GSeq is a global, monotonically increasing rename order across all
+	// threads, used for age-based (oldest-first) selection.
+	GSeq uint64
+
+	// Renamed operands. Srcs[i] corresponds to Inst.Src[i]; absent
+	// operands are regfile.NoPhys.
+	Srcs [isa.MaxSources]regfile.PhysRef
+	// Dest is the allocated destination register, or NoPhys.
+	Dest regfile.PhysRef
+	// PrevDest is the destination architectural register's previous
+	// mapping, reclaimed when this UOp commits.
+	PrevDest regfile.PhysRef
+
+	// Timestamps (cycle numbers), NoCycle until the event occurs.
+	RenamedAt    int64
+	DispatchedAt int64
+	IssuedAt     int64
+	CompletedAt  int64
+
+	// InIQ reports the UOp currently occupies an issue-queue entry;
+	// IQClass records the comparator class of that entry (0, 1, or 2),
+	// so the queue can release the right pool.
+	InIQ    bool
+	IQClass int8
+	// InDAB reports the UOp sits in the deadlock-avoidance buffer.
+	InDAB bool
+	// Issued reports the UOp has left the scheduler.
+	Issued bool
+	// Completed reports the result has been produced (dest ready).
+	Completed bool
+	// Squashed reports the UOp was annulled by a watchdog or fetch-gate
+	// flush; pending completion events for it must be ignored.
+	Squashed bool
+
+	// L1DMiss and MemMiss record, for issued loads, how deep in the
+	// hierarchy the access went (set at issue, consumed by the
+	// fetch-gating policies and their statistics).
+	L1DMiss bool
+	MemMiss bool
+
+	// Branch prediction state (Class == Branch).
+	PredTaken  bool
+	PredTarget uint64
+	Mispred    bool
+
+	// NonReadyAtDispatch records how many source operands were not ready
+	// when the UOp entered the scheduler (or DAB) — the quantity the
+	// 2OP_BLOCK policy keys on.
+	NonReadyAtDispatch int
+
+	// WasNDI reports the UOp spent at least one cycle blocked as a
+	// non-dispatchable instruction (two non-ready sources under a
+	// one-comparator scheduler).
+	WasNDI bool
+	// WasHDI reports the UOp was dispatched out of program order, ahead
+	// of an older NDI from its thread (a hidden dispatchable instruction).
+	WasHDI bool
+	// DepOnNDI reports the UOp directly or transitively depends on an
+	// older instruction that was an NDI at the time this UOp dispatched
+	// (used by the idealized-filter ablation and the HDI statistics).
+	DepOnNDI bool
+}
+
+// Reset clears the UOp for reuse from a pool.
+func (u *UOp) Reset() {
+	*u = UOp{
+		RenamedAt:    NoCycle,
+		DispatchedAt: NoCycle,
+		IssuedAt:     NoCycle,
+		CompletedAt:  NoCycle,
+	}
+}
+
+// NumSrcNotReady counts source operands whose physical registers are not
+// ready in rf.
+func (u *UOp) NumSrcNotReady(rf *regfile.File) int {
+	n := 0
+	for _, s := range u.Srcs {
+		if s.Valid() && !rf.Ready(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// SrcsReady reports whether every source operand is ready.
+func (u *UOp) SrcsReady(rf *regfile.File) bool {
+	return u.NumSrcNotReady(rf) == 0
+}
+
+// IsBranch reports whether the UOp is a control transfer.
+func (u *UOp) IsBranch() bool { return u.Inst.Class == isa.Branch }
+
+// IsLoad reports whether the UOp reads data memory.
+func (u *UOp) IsLoad() bool { return u.Inst.Class == isa.Load }
+
+// IsStore reports whether the UOp writes data memory.
+func (u *UOp) IsStore() bool { return u.Inst.Class == isa.Store }
+
+// Older reports whether u precedes v in global rename order. Within a
+// thread, rename order equals program order, so Older is also the
+// program-order test the dispatch policies use.
+func (u *UOp) Older(v *UOp) bool { return u.GSeq < v.GSeq }

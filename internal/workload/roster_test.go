@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/synth"
+)
+
+// TestEveryBenchmarkCompilesAndStreams is a table-driven sweep over the
+// full roster: each benchmark's program must compile, stream cleanly,
+// and exhibit the structural properties its ILP class promises.
+func TestEveryBenchmarkCompilesAndStreams(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog, err := CompileBenchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			class, _ := Class(name)
+			profile := prog.Profile()
+
+			s := prog.NewStream(1)
+			var loads, stores, branches, fp, taken uint64
+			const n = 30_000
+			for i := 0; i < n; i++ {
+				in := s.Next()
+				switch in.Class {
+				case isa.Load:
+					loads++
+				case isa.Store:
+					stores++
+				case isa.Branch:
+					branches++
+					if in.Taken {
+						taken++
+					}
+				}
+				if in.Class.IsFloat() {
+					fp++
+				}
+			}
+
+			if loads == 0 || stores == 0 || branches == 0 {
+				t.Fatalf("degenerate mix: loads=%d stores=%d branches=%d", loads, stores, branches)
+			}
+			if taken == 0 || taken == branches {
+				t.Errorf("branch outcomes degenerate: %d/%d taken", taken, branches)
+			}
+			loadFrac := float64(loads) / n
+			if loadFrac < 0.05 || loadFrac > 0.6 {
+				t.Errorf("load fraction %.2f implausible", loadFrac)
+			}
+
+			// Class-specific structural promises.
+			switch class {
+			case synth.LowILP:
+				if profile.WorkingSet < 1<<20 {
+					t.Errorf("low-ILP working set %d below 1MB", profile.WorkingSet)
+				}
+				if profile.ChaseFrac == 0 {
+					t.Error("low-ILP benchmark without pointer chasing")
+				}
+			case synth.HighILP:
+				if profile.WorkingSet > 1<<20 {
+					t.Errorf("high-ILP working set %d above 1MB", profile.WorkingSet)
+				}
+				if profile.ChaseFrac != 0 {
+					t.Error("high-ILP benchmark with pointer chasing")
+				}
+			}
+
+			// FP benchmarks must execute FP work; integer ones must not.
+			if fpBenchmarks[name] && fp == 0 {
+				t.Error("FP benchmark executed no FP operations")
+			}
+			if !fpBenchmarks[name] && fp != 0 {
+				t.Errorf("integer benchmark executed %d FP operations", fp)
+			}
+		})
+	}
+}

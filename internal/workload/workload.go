@@ -1,0 +1,237 @@
+// Package workload encodes the paper's benchmark roster and multithreaded
+// workload mixes.
+//
+// The paper simulates SPEC CPU2000 benchmarks classified as low, medium,
+// or high ILP from single-threaded baseline runs (Section 2), then builds
+// 12 mixes each of 2, 3, and 4 threads (Tables 2-4). We cannot run the
+// Alpha binaries, so each benchmark name is bound to a synthetic profile
+// (package synth) of the matching ILP class; per-benchmark parameter
+// perturbations (derived deterministically from the name) keep the
+// benchmarks within a class from being identical clones.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"smtsim/internal/synth"
+)
+
+// class lists the paper-aligned ILP classification of every SPEC CPU2000
+// benchmark we model. Benchmarks appearing in the mix tables follow the
+// grouping of Tables 2-4; the remaining SPEC benchmarks (mcf, sixtrack)
+// are classified from their well-known behaviour.
+var class = map[string]synth.ILPClass{
+	// memory-bound
+	"art": synth.LowILP, "equake": synth.LowILP, "lucas": synth.LowILP,
+	"swim": synth.LowILP, "twolf": synth.LowILP, "vpr": synth.LowILP,
+	"parser": synth.LowILP, "mcf": synth.LowILP,
+	// in between
+	"applu": synth.MedILP, "ammp": synth.MedILP, "galgel": synth.MedILP,
+	"gcc": synth.MedILP, "bzip2": synth.MedILP, "apsi": synth.MedILP,
+	"fma3d": synth.MedILP, "mgrid": synth.MedILP, "sixtrack": synth.MedILP,
+	// execution-bound
+	"eon": synth.HighILP, "facerec": synth.HighILP, "crafty": synth.HighILP,
+	"perlbmk": synth.HighILP, "gap": synth.HighILP, "wupwise": synth.HighILP,
+	"gzip": synth.HighILP, "vortex": synth.HighILP, "mesa": synth.HighILP,
+}
+
+// fpBenchmarks marks the SPEC floating-point benchmarks; their profiles
+// shift the type mix toward floating-point operation classes.
+var fpBenchmarks = map[string]bool{
+	"wupwise": true, "swim": true, "mgrid": true, "applu": true,
+	"mesa": true, "galgel": true, "art": true, "equake": true,
+	"facerec": true, "ammp": true, "lucas": true, "fma3d": true,
+	"sixtrack": true, "apsi": true,
+}
+
+// Names returns all modeled benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(class))
+	for n := range class {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Class returns the ILP classification of a benchmark.
+func Class(name string) (synth.ILPClass, error) {
+	c, ok := class[name]
+	if !ok {
+		return 0, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return c, nil
+}
+
+// nameHash gives each benchmark a stable 64-bit identity used to seed its
+// structural randomness and perturb its profile within the class template.
+func nameHash(name string) uint64 {
+	var h uint64 = 0xcbf29ce484222325 // FNV-1a
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// ProfileFor builds the synthetic profile standing in for a benchmark.
+func ProfileFor(name string) (synth.Profile, error) {
+	c, ok := class[name]
+	if !ok {
+		return synth.Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	var p synth.Profile
+	switch c {
+	case synth.LowILP:
+		p = synth.LowILPProfile(name)
+	case synth.MedILP:
+		p = synth.MedILPProfile(name)
+	default:
+		p = synth.HighILPProfile(name)
+	}
+
+	// Deterministic within-class variation so the twelve mixes are not
+	// twelve copies of the same three kernels.
+	h := nameHash(name)
+	jitter := func(salt uint64, span float64) float64 {
+		// in [-span, +span]
+		v := float64((h^salt*0x9E3779B97F4A7C15)%1024)/1024.0*2 - 1
+		return v * span
+	}
+	p.DepP = clampRange(p.DepP*(1+jitter(1, 0.25)), 0.05, 0.9)
+	p.FarSrcFrac = clampRange(p.FarSrcFrac+jitter(7, 0.08), 0, 0.95)
+	p.BranchBias = clampRange(p.BranchBias+jitter(2, 0.03), 0.5, 0.99)
+	p.BranchNoise = clampRange(p.BranchNoise*(1+jitter(3, 0.5)), 0, 0.5)
+	p.StridedFrac = clampRange(p.StridedFrac+jitter(4, 0.15), 0, 1)
+	if p.ChaseFrac > 0 {
+		p.ChaseFrac = clampRange(p.ChaseFrac*(1+jitter(5, 0.3)), 0, 1)
+	}
+	// Working sets vary by up to 2x either way within the class.
+	scale := 1.0 + jitter(6, 0.5)
+	p.WorkingSet = uint64(float64(p.WorkingSet) * (scale + 1.0) / 1.5)
+	if p.WorkingSet < 4096 {
+		p.WorkingSet = 4096
+	}
+	// Code-shape variation changes I-cache and predictor pressure.
+	p.Blocks += int(h % 5)
+	p.BlockLen += int((h >> 8) % 5)
+
+	if fpBenchmarks[name] {
+		p.Mix.FpAdd *= 2.2
+		p.Mix.FpMult *= 2.2
+		p.Mix.IntAlu *= 0.7
+	} else {
+		p.Mix.FpAdd = 0
+		p.Mix.FpMult = 0
+		p.Mix.FpDiv = 0
+		p.Mix.FpSqrt = 0
+		p.Mix.IntAlu *= 1.2
+	}
+	return p, nil
+}
+
+// CompileBenchmark compiles the named benchmark's synthetic program. The
+// structural seed is derived from the name, so every simulator run sees
+// the same "binary".
+func CompileBenchmark(name string) (*synth.Program, error) {
+	p, err := ProfileFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Compile(p, nameHash(name))
+}
+
+func clampRange(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Mix is one multithreaded workload: a named list of benchmarks, one per
+// hardware thread context.
+type Mix struct {
+	Name       string
+	Benchmarks []string
+}
+
+// Threads returns the number of threads in the mix.
+func (m Mix) Threads() int { return len(m.Benchmarks) }
+
+// String renders "Mix 3(gcc,bzip2,eon)".
+func (m Mix) String() string {
+	s := m.Name + "("
+	for i, b := range m.Benchmarks {
+		if i > 0 {
+			s += ","
+		}
+		s += b
+	}
+	return s + ")"
+}
+
+// Mixes4 reproduces Table 2: the twelve simulated 4-threaded workloads.
+var Mixes4 = []Mix{
+	{"Mix 1", []string{"mgrid", "equake", "art", "lucas"}},
+	{"Mix 2", []string{"twolf", "vpr", "swim", "parser"}},
+	{"Mix 3", []string{"applu", "ammp", "mgrid", "galgel"}},
+	{"Mix 4", []string{"gcc", "bzip2", "eon", "apsi"}},
+	{"Mix 5", []string{"facerec", "crafty", "perlbmk", "gap"}},
+	{"Mix 6", []string{"wupwise", "gzip", "vortex", "mesa"}},
+	{"Mix 7", []string{"parser", "equake", "mesa", "vortex"}},
+	{"Mix 8", []string{"parser", "swim", "crafty", "perlbmk"}},
+	{"Mix 9", []string{"art", "lucas", "galgel", "gcc"}},
+	{"Mix 10", []string{"parser", "swim", "gcc", "bzip2"}},
+	{"Mix 11", []string{"gzip", "wupwise", "fma3d", "apsi"}},
+	{"Mix 12", []string{"vortex", "mesa", "mgrid", "eon"}},
+}
+
+// Mixes3 reproduces Table 4: the twelve simulated 3-threaded workloads.
+var Mixes3 = []Mix{
+	{"Mix 1", []string{"mgrid", "equake", "art"}},
+	{"Mix 2", []string{"twolf", "vpr", "swim"}},
+	{"Mix 3", []string{"applu", "ammp", "mgrid"}},
+	{"Mix 4", []string{"gcc", "bzip2", "eon"}},
+	{"Mix 5", []string{"facerec", "crafty", "perlbmk"}},
+	{"Mix 6", []string{"wupwise", "gzip", "vortex"}},
+	{"Mix 7", []string{"parser", "equake", "mesa"}},
+	{"Mix 8", []string{"perlbmk", "parser", "crafty"}},
+	{"Mix 9", []string{"art", "lucas", "galgel"}},
+	{"Mix 10", []string{"parser", "bzip2", "gcc"}},
+	{"Mix 11", []string{"gzip", "wupwise", "fma3d"}},
+	{"Mix 12", []string{"vortex", "eon", "mgrid"}},
+}
+
+// Mixes2 reproduces Table 3: the twelve simulated 2-threaded workloads.
+var Mixes2 = []Mix{
+	{"Mix 1", []string{"equake", "lucas"}},
+	{"Mix 2", []string{"twolf", "vpr"}},
+	{"Mix 3", []string{"gcc", "bzip2"}},
+	{"Mix 4", []string{"mgrid", "galgel"}},
+	{"Mix 5", []string{"facerec", "wupwise"}},
+	{"Mix 6", []string{"crafty", "gzip"}},
+	{"Mix 7", []string{"parser", "vortex"}},
+	{"Mix 8", []string{"swim", "gap"}},
+	{"Mix 9", []string{"twolf", "bzip2"}},
+	{"Mix 10", []string{"equake", "gcc"}},
+	{"Mix 11", []string{"applu", "mesa"}},
+	{"Mix 12", []string{"ammp", "gzip"}},
+}
+
+// MixesFor returns the paper's mix table for the given thread count
+// (2, 3, or 4).
+func MixesFor(threads int) ([]Mix, error) {
+	switch threads {
+	case 2:
+		return Mixes2, nil
+	case 3:
+		return Mixes3, nil
+	case 4:
+		return Mixes4, nil
+	}
+	return nil, fmt.Errorf("workload: no mix table for %d threads", threads)
+}

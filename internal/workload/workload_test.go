@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"testing"
+
+	"smtsim/internal/synth"
+)
+
+// TestMixTables verifies the exact mix definitions of Tables 2-4.
+func TestMixTables(t *testing.T) {
+	if len(Mixes4) != 12 || len(Mixes3) != 12 || len(Mixes2) != 12 {
+		t.Fatalf("mix table sizes: %d/%d/%d, want 12 each", len(Mixes4), len(Mixes3), len(Mixes2))
+	}
+	for _, m := range Mixes4 {
+		if m.Threads() != 4 {
+			t.Errorf("%s has %d threads, want 4", m.Name, m.Threads())
+		}
+	}
+	for _, m := range Mixes3 {
+		if m.Threads() != 3 {
+			t.Errorf("%s has %d threads, want 3", m.Name, m.Threads())
+		}
+	}
+	for _, m := range Mixes2 {
+		if m.Threads() != 2 {
+			t.Errorf("%s has %d threads, want 2", m.Name, m.Threads())
+		}
+	}
+	// Spot-check rows against the paper's tables.
+	spot := []struct {
+		got  Mix
+		want []string
+	}{
+		{Mixes4[0], []string{"mgrid", "equake", "art", "lucas"}},
+		{Mixes4[6], []string{"parser", "equake", "mesa", "vortex"}},
+		{Mixes4[11], []string{"vortex", "mesa", "mgrid", "eon"}},
+		{Mixes3[7], []string{"perlbmk", "parser", "crafty"}},
+		{Mixes2[4], []string{"facerec", "wupwise"}},
+		{Mixes2[11], []string{"ammp", "gzip"}},
+	}
+	for _, s := range spot {
+		if len(s.got.Benchmarks) != len(s.want) {
+			t.Fatalf("%s has %d entries", s.got.Name, len(s.got.Benchmarks))
+		}
+		for i := range s.want {
+			if s.got.Benchmarks[i] != s.want[i] {
+				t.Errorf("%s[%d] = %s, want %s", s.got.Name, i, s.got.Benchmarks[i], s.want[i])
+			}
+		}
+	}
+}
+
+// TestAllMixBenchmarksModeled: every benchmark named by any mix must have
+// a profile.
+func TestAllMixBenchmarksModeled(t *testing.T) {
+	for _, table := range [][]Mix{Mixes2, Mixes3, Mixes4} {
+		for _, m := range table {
+			for _, b := range m.Benchmarks {
+				if _, err := ProfileFor(b); err != nil {
+					t.Errorf("%s in %s: %v", b, m.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestClassLookup(t *testing.T) {
+	cases := map[string]synth.ILPClass{
+		"equake": synth.LowILP, "art": synth.LowILP,
+		"gcc": synth.MedILP, "mgrid": synth.MedILP,
+		"gzip": synth.HighILP, "vortex": synth.HighILP,
+	}
+	for name, want := range cases {
+		got, err := Class(name)
+		if err != nil || got != want {
+			t.Errorf("Class(%s) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := Class("doom3"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestProfilesValidAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		p, err := ProfileFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s profile invalid: %v", name, err)
+		}
+		key := profileKey(p)
+		if seen[key] {
+			t.Errorf("%s profile identical to another benchmark's", name)
+		}
+		seen[key] = true
+	}
+}
+
+func profileKey(p synth.Profile) string {
+	q := p
+	q.Name = ""
+	return fmtProfile(q)
+}
+
+func fmtProfile(p synth.Profile) string {
+	return string(rune(p.Blocks)) + string(rune(p.BlockLen)) +
+		fmtF(p.DepP) + fmtF(p.FarSrcFrac) + fmtF(p.BranchBias) +
+		fmtF(p.ChaseFrac) + fmtF(float64(p.WorkingSet))
+}
+
+func fmtF(f float64) string { return string(rune(int(f * 1e6 / 1e3))) }
+
+func TestProfileDeterministic(t *testing.T) {
+	a, _ := ProfileFor("equake")
+	b, _ := ProfileFor("equake")
+	if a != b {
+		t.Error("ProfileFor not deterministic")
+	}
+}
+
+func TestCompileBenchmark(t *testing.T) {
+	prog, err := CompileBenchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.StaticSize() == 0 {
+		t.Error("empty program")
+	}
+	if _, err := CompileBenchmark("nonexistent"); err == nil {
+		t.Error("unknown benchmark compiled")
+	}
+}
+
+func TestMixesFor(t *testing.T) {
+	for threads, want := range map[int][]Mix{2: Mixes2, 3: Mixes3, 4: Mixes4} {
+		got, err := MixesFor(threads)
+		if err != nil || len(got) != len(want) {
+			t.Errorf("MixesFor(%d): %v, %d mixes", threads, err, len(got))
+		}
+	}
+	if _, err := MixesFor(5); err == nil {
+		t.Error("MixesFor(5) accepted")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	m := Mix{Name: "Mix 1", Benchmarks: []string{"a", "b"}}
+	if m.String() != "Mix 1(a,b)" {
+		t.Errorf("Mix.String() = %q", m.String())
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 26 {
+		t.Errorf("modeled %d benchmarks, want all 26 of SPEC CPU2000", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("Names not sorted")
+		}
+	}
+}
+
+func TestClassBalanceAcrossRoster(t *testing.T) {
+	counts := map[synth.ILPClass]int{}
+	for _, n := range Names() {
+		c, _ := Class(n)
+		counts[c]++
+	}
+	for class, n := range counts {
+		if n < 4 {
+			t.Errorf("only %d benchmarks in class %v", n, class)
+		}
+	}
+}

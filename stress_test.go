@@ -1,0 +1,123 @@
+package smtsim_test
+
+import (
+	"testing"
+
+	"smtsim"
+)
+
+// TestRandomConfigStress sweeps a grid of adversarial configurations —
+// every scheduler, tiny and skewed queue shapes, minimal buffers, all
+// deadlock mechanisms and fetch gates — over assorted mixes. Every
+// combination must run to completion (or report a detected deadlock for
+// the explicitly unprotected OOOD case) without panicking: the
+// simulator's internal invariants (queue accounting, register
+// conservation, LSQ ordering) are enforced by panics, so merely
+// completing is a meaningful property.
+func TestRandomConfigStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	schedulers := []smtsim.Scheduler{
+		smtsim.Traditional, smtsim.TwoOpBlock, smtsim.TwoOpOOOD,
+		smtsim.TwoOpOOODFiltered, smtsim.TagElimination, smtsim.TagEliminationOOOD,
+	}
+	mixes := [][]string{
+		{"gzip"},
+		{"equake", "gzip"},
+		{"twolf", "twolf"}, // same benchmark twice: distinct address spaces
+		{"art", "lucas", "galgel"},
+		{"equake", "twolf", "gcc", "gzip"},
+	}
+	gates := []string{"", "stall", "flush", "data-gate"}
+	type shape struct {
+		iq   int
+		part [3]int
+		buf  int
+	}
+	shapes := []shape{
+		{iq: 16},
+		{iq: 64},
+		{part: [3]int{2, 4, 2}},
+		{part: [3]int{0, 15, 1}},
+		{iq: 32, buf: 1},
+	}
+
+	n := 0
+	for si, sched := range schedulers {
+		for mi, mix := range mixes {
+			// Rotate through gates and shapes rather than exploding the
+			// full cross product; coverage still touches every value.
+			gate := gates[(si+mi)%len(gates)]
+			sh := shapes[(si*2+mi)%len(shapes)]
+			cfg := smtsim.Config{
+				Benchmarks:        mix,
+				IQSize:            sh.iq,
+				IQPartition:       sh.part,
+				Scheduler:         sched,
+				FetchGate:         gate,
+				DispatchBufferCap: sh.buf,
+				MaxInstructions:   2_000,
+				Seed:              uint64(si*100 + mi),
+			}
+			if _, err := smtsim.Run(cfg); err != nil {
+				t.Errorf("sched=%v mix=%v gate=%q shape=%+v: %v", sched, mix, gate, sh, err)
+			}
+			n++
+		}
+	}
+	if n < 25 {
+		t.Fatalf("stress grid too small: %d combinations", n)
+	}
+}
+
+// TestWatchdogUnderStress runs the watchdog mechanism on skewed shapes
+// where flushes actually fire, checking recovery end to end.
+func TestWatchdogUnderStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		res, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"equake", "twolf", "art", "swim"},
+			IQSize:          16,
+			Scheduler:       smtsim.TwoOpOOOD,
+			Deadlock:        smtsim.DeadlockWatchdog,
+			WatchdogLimit:   150,
+			MaxInstructions: 5_000,
+			Seed:            seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("seed %d: nothing committed", seed)
+		}
+	}
+}
+
+// TestSameBenchmarkTwiceIsIndependent checks that two hardware threads
+// running the same benchmark behave like separate processes: both make
+// progress and their combined throughput exceeds one copy alone.
+func TestSameBenchmarkTwiceIsIndependent(t *testing.T) {
+	alone, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"gcc"},
+		MaxInstructions: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := smtsim.Run(smtsim.Config{
+		Benchmarks:      []string{"gcc", "gcc"},
+		MaxInstructions: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Threads[0].Committed == 0 || pair.Threads[1].Committed == 0 {
+		t.Error("one copy starved completely")
+	}
+	if pair.IPC <= alone.IPC {
+		t.Errorf("SMT pair IPC %.3f not above single-copy %.3f", pair.IPC, alone.IPC)
+	}
+}
