@@ -1,0 +1,21 @@
+# Tier-1 verification and benchmark recording.
+
+.PHONY: verify bench test vet race
+
+# verify is the tier-1 flow: vet, build, the full test suite, and the
+# race detector over the concurrent sweep harness.
+verify: vet test race
+
+vet:
+	go vet ./...
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/sweep/...
+
+# bench records the hot-path benchmarks (end-to-end machine + issue
+# queue, with -benchmem, 5 samples) to BENCH_PR1.json.
+bench:
+	scripts/bench.sh BENCH_PR1.json

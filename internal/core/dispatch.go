@@ -74,6 +74,14 @@ type Dispatcher struct {
 	// on them; it feeds the DepOnNDI statistic and the idealized filter.
 	taint []map[regfile.PhysRef]bool
 
+	// eventWakeup selects the event-maintained UOp.NotReady counters over
+	// register-file polling for source-readiness classification; it must
+	// match the issue queue's wakeup mode.
+	eventWakeup bool
+
+	// reasons is per-cycle scratch for the stall accounting.
+	reasons []blockReason
+
 	stats Stats
 }
 
@@ -96,7 +104,22 @@ func NewDispatcher(policy Policy, width, bufCap, threads int) *Dispatcher {
 		d.taint[t] = make(map[regfile.PhysRef]bool)
 	}
 	d.stats.NDIBlockCycles = make([]uint64, threads)
+	d.reasons = make([]blockReason, threads)
 	return d
+}
+
+// SetEventWakeup selects event-driven source-readiness tracking: NDI/HDI
+// classification reads the UOp.NotReady counters the wakeup broadcasts
+// maintain, instead of re-polling every operand against the register
+// file each cycle. Must match the issue queue's mode.
+func (d *Dispatcher) SetEventWakeup(on bool) { d.eventWakeup = on }
+
+// srcNotReady returns u's non-ready source count under the active mode.
+func (d *Dispatcher) srcNotReady(u *uop.UOp, rf *regfile.File) int {
+	if d.eventWakeup {
+		return int(u.NotReady)
+	}
+	return u.NumSrcNotReady(rf)
 }
 
 // Policy returns the configured policy.
@@ -150,7 +173,10 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 	budget := d.width
 	dispatched := 0
 	anyWork := false
-	reasons := make([]blockReason, d.threads)
+	reasons := d.reasons
+	for i := range reasons {
+		reasons[i] = blockNone
+	}
 
 	start := d.rr
 	d.rr = (d.rr + 1) % d.threads
@@ -221,7 +247,7 @@ func (d *Dispatcher) runThreadInOrder(cycle int64, t int, q *iq.Queue, rf *regfi
 	reason := blockNone
 	for moved < budget && buf.Len() > 0 {
 		u := buf.At(0)
-		nr := u.NumSrcNotReady(rf)
+		nr := d.srcNotReady(u, rf)
 		if !q.ClassSupported(nr) {
 			// Static NDI: no entry type in this queue has enough tag
 			// comparators (the 2OP condition). The whole thread stalls
@@ -264,7 +290,7 @@ func (d *Dispatcher) runThreadOOO(cycle int64, t int, q *iq.Queue, rf *regfile.F
 
 	// Per-cycle statistics: if the oldest undispatched instruction is an
 	// NDI this cycle, record the block and sample the pile behind it.
-	if buf.At(0).NumSrcNotReady(rf) > 1 {
+	if d.srcNotReady(buf.At(0), rf) > 1 {
 		d.stats.NDIBlockCycles[t]++
 		d.samplePiled(t, rf)
 	}
@@ -280,7 +306,7 @@ scan:
 		var pick *uop.UOp
 		for j := 0; j < buf.Len(); j++ {
 			u := buf.At(j)
-			nr := u.NumSrcNotReady(rf)
+			nr := d.srcNotReady(u, rf)
 			if !q.ClassSupported(nr) {
 				// Static NDI (the 2OP condition): skip it; younger
 				// dispatchable instructions may proceed out of order.
@@ -329,7 +355,7 @@ scan:
 			reason = blockNDI
 			break
 		}
-		nr := pick.NumSrcNotReady(rf)
+		nr := d.srcNotReady(pick, rf)
 		buf.RemoveAt(idx)
 		d.commitDispatch(cycle, t, pick, nr, q, rf, sawNDI && idx > 0)
 		moved++
@@ -360,7 +386,7 @@ func (d *Dispatcher) samplePiled(t int, rf *regfile.File) {
 	buf := d.bufs[t]
 	for j := 1; j < buf.Len(); j++ {
 		d.stats.PiledSampled++
-		if buf.At(j).NumSrcNotReady(rf) <= 1 {
+		if d.srcNotReady(buf.At(j), rf) <= 1 {
 			d.stats.PiledHDI++
 		}
 	}

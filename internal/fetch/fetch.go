@@ -6,10 +6,7 @@
 // clogging the shared queue.
 package fetch
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Policy selects a fetch thread-selection policy.
 type Policy uint8
@@ -49,11 +46,17 @@ type Selector struct {
 	threads int
 	rr      int
 	order   []int
+	counts  []int // per-thread icount cache for the in-place sort
 }
 
 // NewSelector builds a selector over the given number of threads.
 func NewSelector(policy Policy, threads int) *Selector {
-	return &Selector{policy: policy, threads: threads, order: make([]int, 0, threads)}
+	return &Selector{
+		policy:  policy,
+		threads: threads,
+		order:   make([]int, 0, threads),
+		counts:  make([]int, threads),
+	}
 }
 
 // Order returns the thread ids to fetch from, highest priority first.
@@ -77,18 +80,34 @@ func (s *Selector) Order(runnable func(t int) bool, icount func(t int) int) []in
 				s.order = append(s.order, t)
 			}
 		}
-		// Stable ascending sort by icount; ties broken by a rotating
-		// offset so equal-count threads share priority over time.
+		// Ascending sort by icount; ties broken by a rotating offset so
+		// equal-count threads share priority over time. The comparator is
+		// a total order (thread ids are distinct), so this in-place
+		// insertion sort — chosen over sort.SliceStable to keep the
+		// per-cycle fetch path allocation-free — produces the same
+		// ordering the stable library sort did. Counts are sampled once
+		// per thread; icount is deterministic within a cycle.
 		rot := s.rr
 		s.rr = (s.rr + 1) % s.threads
-		sort.SliceStable(s.order, func(i, j int) bool {
-			a, b := s.order[i], s.order[j]
-			ca, cb := icount(a), icount(b)
-			if ca != cb {
-				return ca < cb
+		for _, t := range s.order {
+			s.counts[t] = icount(t)
+		}
+		for i := 1; i < len(s.order); i++ {
+			t := s.order[i]
+			ct := s.counts[t]
+			kt := (t + s.threads - rot) % s.threads
+			j := i - 1
+			for j >= 0 {
+				o := s.order[j]
+				if co := s.counts[o]; co < ct ||
+					(co == ct && (o+s.threads-rot)%s.threads < kt) {
+					break
+				}
+				s.order[j+1] = o
+				j--
 			}
-			return (a+s.threads-rot)%s.threads < (b+s.threads-rot)%s.threads
-		})
+			s.order[j+1] = t
+		}
 	}
 	return s.order
 }

@@ -48,3 +48,86 @@ func BenchmarkReadySelect(b *testing.B) {
 		scratch = q.ReadyOldestFirst(rf, scratch)
 	}
 }
+
+// BenchmarkIQWakeup measures the full wakeup chain for one batch of 64
+// dependent instructions — dispatch, tag broadcast, selection, issue —
+// under both disciplines. In event mode the broadcast itself moves each
+// entry onto the ready list (Watch + OperandReady + wake) and selection
+// copies that list; in polling mode the broadcast is a bit flip and
+// selection re-scans and re-sorts the queue.
+func BenchmarkIQWakeup(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		event bool
+	}{{"event", true}, {"polling", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rf := regfile.New(256, 256)
+			q := New(64, 2, 4)
+			q.SetEventWakeup(mode.event)
+			us := make([]*uop.UOp, 64)
+			regs := make([]regfile.PhysRef, 64)
+			for i := range us {
+				us[i] = new(uop.UOp)
+				us[i].Reset()
+			}
+			var scratch []*uop.UOp
+			gseq := uint64(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, u := range us {
+					p := rf.Alloc(isa.IntReg)
+					regs[j] = p
+					u.Thread = j % 4
+					u.GSeq = gseq
+					gseq++
+					u.Srcs[0] = p
+					if mode.event {
+						u.NotReady = 0
+						if rf.Watch(p, u, u.GSeq) {
+							u.NotReady = 1
+						}
+					}
+					q.Insert(u, rf)
+				}
+				for _, p := range regs {
+					rf.SetReady(p) // the tag broadcast
+				}
+				scratch = q.ReadyOrdered(rf, scratch, OldestFirst, 0)
+				if len(scratch) != len(us) {
+					b.Fatalf("ready %d, want %d", len(scratch), len(us))
+				}
+				for _, u := range scratch {
+					q.Remove(u)
+				}
+				for _, p := range regs {
+					rf.Free(p)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIQRemove measures entry removal via the back-index. Removal
+// proceeds in insertion order, so every Remove targets the logical front
+// — the old linear scan's best case was the back, its worst case this.
+func BenchmarkIQRemove(b *testing.B) {
+	rf := regfile.New(256, 256)
+	q := New(64, 2, 4)
+	us := make([]*uop.UOp, 64)
+	for i := range us {
+		p := rf.Alloc(isa.IntReg)
+		rf.SetReady(p)
+		us[i] = &uop.UOp{Thread: i % 4, GSeq: uint64(i + 1), Srcs: [2]regfile.PhysRef{p, regfile.NoPhys}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range us {
+			q.Insert(u, rf)
+		}
+		for _, u := range us {
+			q.Remove(u)
+		}
+	}
+}

@@ -43,11 +43,29 @@ func Uniform(capacity, comparators int) Partition {
 }
 
 // Queue is the shared issue queue.
+//
+// The queue supports two wakeup disciplines. In the legacy polling mode
+// (the default for a bare Queue, kept for the differential cross-check
+// and for tests that build entries by hand), ReadyOrdered re-scans every
+// entry against the register file each call. In event-driven mode
+// (SetEventWakeup, what the pipeline uses) the queue mirrors a hardware
+// tag-broadcast CAM: each entry carries a not-ready operand counter
+// maintained through the register file's consumer lists, and entries
+// whose counter hits zero move onto an age-ordered ready list at
+// broadcast time, so selection pops from an already-sorted list and
+// never rescans the queue.
 type Queue struct {
 	part      Partition
 	used      [NumClasses]int
 	entries   []*uop.UOp
 	perThread []int
+
+	// event selects event-driven wakeup; ready is the incrementally
+	// maintained ready list, ascending by GSeq (oldest first); rot is
+	// scratch for the thread-rotate ordering.
+	event bool
+	ready []*uop.UOp
+	rot   []*uop.UOp
 
 	// Statistics.
 	Inserts      uint64
@@ -83,6 +101,30 @@ func NewPartitioned(part Partition, threads int) *Queue {
 		entries:   make([]*uop.UOp, 0, part.Total()),
 		perThread: make([]int, threads),
 	}
+}
+
+// SetEventWakeup switches between event-driven wakeup (true) and the
+// legacy per-cycle polling (false). In event mode, callers must maintain
+// each UOp's NotReady counter before Insert (the pipeline does this at
+// rename via regfile.Watch); the queue then keeps its ready list current
+// through UOpReady callbacks. Must be called while the queue is empty.
+func (q *Queue) SetEventWakeup(on bool) {
+	if len(q.entries) > 0 {
+		panic("iq: cannot switch wakeup mode with entries in flight")
+	}
+	q.event = on
+}
+
+// EventWakeup reports the active wakeup discipline.
+func (q *Queue) EventWakeup() bool { return q.event }
+
+// srcNotReady returns u's non-ready source count under the active mode:
+// the event-maintained counter, or a register-file poll.
+func (q *Queue) srcNotReady(u *uop.UOp, rf *regfile.File) int {
+	if q.event {
+		return int(u.NotReady)
+	}
+	return u.NumSrcNotReady(rf)
 }
 
 // Cap returns the total number of entries.
@@ -147,15 +189,22 @@ func (q *Queue) ThreadCount(t int) int { return q.perThread[t] }
 // suitable entry is available — the dispatch policies gate on CanAccept,
 // so a violation is a policy bug (hunted by the property tests).
 func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
-	n := u.NumSrcNotReady(rf)
+	n := q.srcNotReady(u, rf)
 	for k := n; k < NumClasses; k++ {
 		if q.used[k] < q.part[k] {
 			q.used[k]++
 			u.IQClass = int8(k)
 			u.InIQ = true
+			u.IQSlot = int32(len(q.entries))
 			q.entries = append(q.entries, u)
 			q.perThread[u.Thread]++
 			q.Inserts++
+			if q.event {
+				u.Waker = q
+				if n == 0 {
+					q.wake(u)
+				}
+			}
 			return
 		}
 	}
@@ -163,19 +212,81 @@ func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 		u.Thread, u.Inst.PC, n))
 }
 
-// Remove extracts u from the queue (at issue or squash).
+// Remove extracts u from the queue (at issue or squash) in O(1) via the
+// back-index stored on the UOp at Insert.
 func (q *Queue) Remove(u *uop.UOp) {
-	for i, e := range q.entries {
-		if e == u {
-			q.entries[i] = q.entries[len(q.entries)-1]
-			q.entries = q.entries[:len(q.entries)-1]
-			q.perThread[u.Thread]--
-			q.used[u.IQClass]--
-			u.InIQ = false
-			return
+	i := int(u.IQSlot)
+	if !u.InIQ || i >= len(q.entries) || q.entries[i] != u {
+		panic("iq: remove of absent entry")
+	}
+	last := len(q.entries) - 1
+	q.entries[i] = q.entries[last]
+	q.entries[i].IQSlot = int32(i)
+	q.entries[last] = nil
+	q.entries = q.entries[:last]
+	q.perThread[u.Thread]--
+	q.used[u.IQClass]--
+	q.detach(u)
+}
+
+// detach clears u's queue-membership state, dropping it from the ready
+// list if present.
+func (q *Queue) detach(u *uop.UOp) {
+	u.InIQ = false
+	u.Waker = nil
+	if u.InReady {
+		q.dropReady(u)
+	}
+}
+
+// UOpReady implements uop.Waker: u's last outstanding source operand was
+// just produced (tag broadcast). The entry joins the ready list at its
+// age-ordered position.
+func (q *Queue) UOpReady(u *uop.UOp) {
+	if !u.InIQ || u.InReady {
+		return
+	}
+	q.wake(u)
+}
+
+// wake inserts u into the ready list, keeping it ascending by GSeq — the
+// incremental equivalent of the polling mode's sort-by-age. The list is
+// small (bounded by the issue-ready set, not the queue), so a binary
+// search plus a memmove beats re-sorting every cycle.
+func (q *Queue) wake(u *uop.UOp) {
+	lo, hi := 0, len(q.ready)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.ready[mid].GSeq < u.GSeq {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	panic("iq: remove of absent entry")
+	q.ready = append(q.ready, nil)
+	copy(q.ready[lo+1:], q.ready[lo:])
+	q.ready[lo] = u
+	u.InReady = true
+}
+
+// dropReady removes u from the ready list (issue or squash).
+func (q *Queue) dropReady(u *uop.UOp) {
+	lo, hi := 0, len(q.ready)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.ready[mid].GSeq < u.GSeq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(q.ready) || q.ready[lo] != u {
+		panic("iq: ready-list entry missing")
+	}
+	copy(q.ready[lo:], q.ready[lo+1:])
+	q.ready[len(q.ready)-1] = nil
+	q.ready = q.ready[:len(q.ready)-1]
+	u.InReady = false
 }
 
 // SelectPolicy orders the ready instructions competing for issue slots.
@@ -211,7 +322,18 @@ func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []*uop.UOp) []*uop.UO
 // number) seeds rotating policies. The returned slice is valid until the
 // next call.
 func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPolicy, tick int64) []*uop.UOp {
-	ready := scratch[:0]
+	var ready []*uop.UOp
+	if q.event {
+		// The ready list is maintained incrementally in age order; hand
+		// back a copy so the caller may issue (and Remove) while
+		// iterating. O(ready), never O(queue).
+		ready = append(scratch[:0], q.ready...)
+		if pol == ThreadRotate {
+			q.rotateOrder(ready, tick)
+		}
+		return ready
+	}
+	ready = scratch[:0]
 	for _, u := range q.entries {
 		if u.SrcsReady(rf) {
 			ready = append(ready, u)
@@ -238,6 +360,29 @@ func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPol
 	return ready
 }
 
+// rotateOrder reorders an age-sorted ready slice into the thread-rotate
+// grant order — threads visited in rotating sequence from this tick's
+// first thread, age order within each — without sorting or allocating:
+// a stable bucket pass over the (small) ready set, equivalent to sorting
+// by (rotated thread index, GSeq).
+func (q *Queue) rotateOrder(ready []*uop.UOp, tick int64) {
+	n := len(q.perThread)
+	if n <= 1 {
+		return
+	}
+	first := int(tick % int64(n))
+	q.rot = append(q.rot[:0], ready...)
+	out := ready[:0]
+	for k := 0; k < n; k++ {
+		t := (first + k) % n
+		for _, u := range q.rot {
+			if u.Thread == t {
+				out = append(out, u)
+			}
+		}
+	}
+}
+
 // DrainThread removes and returns every entry belonging to thread t
 // (watchdog flush path).
 func (q *Queue) DrainThread(t int) []*uop.UOp {
@@ -245,10 +390,11 @@ func (q *Queue) DrainThread(t int) []*uop.UOp {
 	kept := q.entries[:0]
 	for _, u := range q.entries {
 		if u.Thread == t {
-			u.InIQ = false
 			q.used[u.IQClass]--
+			q.detach(u)
 			out = append(out, u)
 		} else {
+			u.IQSlot = int32(len(kept))
 			kept = append(kept, u)
 		}
 	}

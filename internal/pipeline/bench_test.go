@@ -7,7 +7,7 @@ import (
 	"smtsim/internal/workload"
 )
 
-func benchCore(b *testing.B, policy icore.Policy, names ...string) *Core {
+func benchCore(b testing.TB, policy icore.Policy, names ...string) *Core {
 	b.Helper()
 	cfg := DefaultConfig()
 	cfg.Policy = policy
@@ -39,6 +39,42 @@ func BenchmarkStep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkStepAllocs measures the steady-state per-cycle cost after a
+// long warmup, so every pool and scratch buffer has reached its working
+// size. The allocs/op column is the acceptance criterion: it must be 0.
+func BenchmarkStepAllocs(b *testing.B) {
+	c := benchCore(b, icore.TwoOpOOOD, "equake", "twolf", "gcc", "gzip")
+	for i := 0; i < 20_000; i++ {
+		c.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+// TestStepSteadyStateZeroAllocs asserts the cycle path allocates nothing
+// once warm, for each dispatch policy: renamed UOps come from the pool,
+// completion events live in a value heap, and every per-cycle scratch
+// structure is reused.
+func TestStepSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not short")
+	}
+	for _, policy := range []icore.Policy{icore.InOrder, icore.TwoOpBlock, icore.TwoOpOOOD} {
+		t.Run(policy.String(), func(t *testing.T) {
+			c := benchCore(t, policy, "equake", "twolf", "gcc", "gzip")
+			for i := 0; i < 20_000; i++ {
+				c.Step()
+			}
+			if avg := testing.AllocsPerRun(5_000, c.Step); avg != 0 {
+				t.Errorf("steady-state Step allocates %v objects/cycle, want 0", avg)
 			}
 		})
 	}

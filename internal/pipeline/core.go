@@ -53,8 +53,11 @@ type threadState struct {
 	// replay holds instructions to refetch after a watchdog flush, in
 	// program order, ahead of the stream.
 	replay []isa.Inst
-	// pendingInst is an instruction whose I-cache block is in flight.
-	pendingInst *isa.Inst
+	// pendingInst is an instruction whose I-cache block is in flight;
+	// pendingValid reports its presence. A value plus flag rather than a
+	// pointer keeps the per-miss bookkeeping off the heap.
+	pendingInst  isa.Inst
+	pendingValid bool
 
 	fetchQ  []fetchEntry
 	qHead   int // fetchQ is a ring: qHead + qLen index into it
@@ -102,10 +105,9 @@ func (ts *threadState) fetchQPop() fetchEntry {
 // reports whether it came from pendingInst (its I-cache access already
 // happened).
 func (ts *threadState) nextInst() (isa.Inst, bool) {
-	if ts.pendingInst != nil {
-		in := *ts.pendingInst
-		ts.pendingInst = nil
-		return in, true
+	if ts.pendingValid {
+		ts.pendingValid = false
+		return ts.pendingInst, true
 	}
 	if len(ts.replay) > 0 {
 		in := ts.replay[0]
@@ -139,6 +141,20 @@ type Core struct {
 	events  eventQueue
 	scratch []*uop.UOp
 
+	// eventWakeup mirrors !cfg.PollingWakeup: writeback broadcasts to
+	// per-register consumer lists instead of the scheduler re-polling.
+	eventWakeup bool
+	// pool recycles UOp records: commit and the flush paths return
+	// retired/squashed UOps here and rename reuses them, eliminating the
+	// one-allocation-per-instruction cost on the hot path. Stale
+	// references to a recycled UOp (completion events, consumer-list
+	// entries) identify themselves by GSeq mismatch.
+	pool []*uop.UOp
+	// runnableFn/icountFn are the fetch-policy callbacks, built once so
+	// fetch() does not allocate two closures every cycle.
+	runnableFn func(int) bool
+	icountFn   func(int) int
+
 	commitRR, renameRR int
 	lastCommitCycle    int64
 	onCommit           func(*uop.UOp)
@@ -169,6 +185,9 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 	c := &Core{
 		cfg:      cfg,
 		nthreads: n,
+		// Rename sequence numbers start at one so a reset UOp's zero GSeq
+		// never matches a live token (see uop.Reset).
+		gseq:     1,
 		rf:       regfile.New(cfg.IntRegs, cfg.FpRegs),
 		q:        iq.NewPartitioned(cfg.queuePartition(), n),
 		disp:     core.NewDispatcher(cfg.Policy, cfg.Width, cfg.DispatchBufCap, n),
@@ -180,6 +199,18 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 	}
 	if c.hier == nil {
 		c.hier = cache.DefaultHierarchy()
+	}
+	c.eventWakeup = !cfg.PollingWakeup
+	if c.eventWakeup {
+		c.q.SetEventWakeup(true)
+		c.disp.SetEventWakeup(true)
+	}
+	c.runnableFn = func(t int) bool {
+		ts := c.threads[t]
+		return ts.blocked <= c.cycle && !ts.fetchQFull() && c.gateAllows(t)
+	}
+	c.icountFn = func(t int) int {
+		return c.threads[t].qLen + c.disp.Buffer(t).Len() + c.q.ThreadCount(t)
 	}
 	switch cfg.Deadlock {
 	case DeadlockWatchdog:
@@ -245,7 +276,8 @@ func (c *Core) ROB(t int) *rob.ROB { return c.robs[t] }
 
 // SetCommitHook installs fn to observe every committed instruction in
 // commit order. Intended for instrumentation and tests; fn must not
-// mutate the UOp.
+// mutate the UOp, and must not retain it — the record is recycled into
+// the rename pool the moment fn returns.
 func (c *Core) SetCommitHook(fn func(*uop.UOp)) { c.onCommit = fn }
 
 // ErrDeadlock is returned (wrapped) when the safety net detects that no
@@ -387,6 +419,7 @@ func (c *Core) commit() {
 			if c.onCommit != nil {
 				c.onCommit(u)
 			}
+			c.freeUOp(u)
 			budget--
 		}
 	}
@@ -493,20 +526,28 @@ func (c *Core) rename() {
 				break
 			}
 			ts.fetchQPop()
-			u := &uop.UOp{
-				Inst:         in,
-				Thread:       t,
-				GSeq:         c.gseq,
-				RenamedAt:    c.cycle,
-				DispatchedAt: uop.NoCycle,
-				IssuedAt:     uop.NoCycle,
-				CompletedAt:  uop.NoCycle,
-				PredTaken:    e.predTaken,
-				PredTarget:   e.predTarget,
-				Mispred:      e.mispred,
-			}
+			u := c.newUOp()
+			u.Inst = in
+			u.Thread = t
+			u.GSeq = c.gseq
+			u.RenamedAt = c.cycle
+			u.PredTaken = e.predTaken
+			u.PredTarget = e.predTarget
+			u.Mispred = e.mispred
 			c.gseq++
 			c.rats[t].Rename(u)
+			if c.eventWakeup {
+				// Subscribe to each pending source's consumer list; the
+				// counter equals NumSrcNotReady at this instant and every
+				// later tag broadcast keeps it in sync.
+				nr := int8(0)
+				for _, s := range u.Srcs {
+					if c.rf.Watch(s, u, u.GSeq) {
+						nr++
+					}
+				}
+				u.NotReady = nr
+			}
 			c.robs[t].Alloc(u)
 			if in.Class.IsMem() {
 				c.lsqs[t].Alloc(u)
@@ -523,16 +564,9 @@ func (c *Core) rename() {
 // resolution), an I-cache miss (until the block arrives), or a full
 // fetch queue.
 func (c *Core) fetch() {
-	runnable := func(t int) bool {
-		ts := c.threads[t]
-		return ts.blocked <= c.cycle && !ts.fetchQFull() && c.gateAllows(t)
-	}
-	icount := func(t int) int {
-		return c.threads[t].qLen + c.disp.Buffer(t).Len() + c.q.ThreadCount(t)
-	}
 	budget := c.cfg.Width
 	threadsUsed := 0
-	for _, t := range c.sel.Order(runnable, icount) {
+	for _, t := range c.sel.Order(c.runnableFn, c.icountFn) {
 		if budget == 0 || threadsUsed == c.cfg.FetchThreads {
 			break
 		}
@@ -558,8 +592,8 @@ func (c *Core) fetchThread(t, budget int) int {
 				if extra := c.hier.FetchLatencyExtra(in.PC); extra > 0 {
 					// The block is being filled; hold the instruction
 					// and resume when it arrives.
-					held := in
-					ts.pendingInst = &held
+					ts.pendingInst = in
+					ts.pendingValid = true
 					ts.blocked = c.cycle + int64(extra)
 					break
 				}
@@ -611,18 +645,41 @@ func (c *Core) flushAll() {
 			}
 			c.forgetLoad(u)
 			insts = append(insts, u.Inst)
+			c.freeUOp(u)
 		}
 		for ts.qLen > 0 {
 			insts = append(insts, ts.fetchQPop().inst)
 		}
-		if ts.pendingInst != nil {
-			insts = append(insts, *ts.pendingInst)
-			ts.pendingInst = nil
+		if ts.pendingValid {
+			insts = append(insts, ts.pendingInst)
+			ts.pendingValid = false
 		}
 		ts.replay = append(insts, ts.replay...)
 		ts.blocked = c.cycle + c.cfg.FlushRefill
 		ts.lastBlockValid = false
 	}
+}
+
+// newUOp takes a reset record from the pool, or allocates one.
+func (c *Core) newUOp() *uop.UOp {
+	if n := len(c.pool); n > 0 {
+		u := c.pool[n-1]
+		c.pool[n-1] = nil
+		c.pool = c.pool[:n-1]
+		return u
+	}
+	u := new(uop.UOp)
+	u.Reset()
+	return u
+}
+
+// freeUOp resets a retired or squashed UOp and returns it to the pool.
+// The ROB drain lists are the authoritative free sites for squashes
+// (every renamed in-flight UOp appears there exactly once); the IQ,
+// dispatch-buffer, DAB, and LSQ drains overlap them and must not free.
+func (c *Core) freeUOp(u *uop.UOp) {
+	u.Reset()
+	c.pool = append(c.pool, u)
 }
 
 func (c *Core) totalCommitted() uint64 {

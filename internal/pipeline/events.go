@@ -1,51 +1,80 @@
 package pipeline
 
-import (
-	"container/heap"
-
-	"smtsim/internal/uop"
-)
+import "smtsim/internal/uop"
 
 // completion is a scheduled writeback event: at cycle `at`, u's result is
-// produced (destination becomes ready, u becomes commit-eligible).
+// produced (destination becomes ready, u becomes commit-eligible). seq
+// snapshots u.GSeq at schedule time; the pipeline recycles UOp records,
+// so a completion whose seq no longer matches its UOp belongs to a dead
+// incarnation and is dropped.
 type completion struct {
-	at int64
-	u  *uop.UOp
+	at  int64
+	seq uint64
+	u   *uop.UOp
 }
 
-// eventQueue is a min-heap of completions ordered by cycle.
+// eventQueue is a min-heap of completions ordered by cycle. It is a
+// hand-rolled value-slice heap rather than container/heap: the interface
+// indirection there boxes every pushed completion, which costs one heap
+// allocation per simulated instruction on the hot path.
 type eventQueue []completion
 
-func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(completion)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = completion{}
-	*q = old[:n-1]
-	return x
-}
-
-// schedule enqueues a completion.
+// schedule enqueues a completion (sift-up).
 func (q *eventQueue) schedule(at int64, u *uop.UOp) {
-	heap.Push(q, completion{at: at, u: u})
+	h := append(*q, completion{at: at, seq: u.GSeq, u: u})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].at <= h[i].at {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*q = h
 }
 
 // popDue removes and returns the next completion due at or before cycle,
-// or nil if none.
+// or nil if none. Stale events — the UOp was squashed, or recycled into
+// a new incarnation (seq mismatch) — are discarded.
 func (q *eventQueue) popDue(cycle int64) *uop.UOp {
-	for q.Len() > 0 {
-		if (*q)[0].at > cycle {
+	h := *q
+	for len(h) > 0 {
+		if h[0].at > cycle {
+			*q = h
 			return nil
 		}
-		c := heap.Pop(q).(completion)
-		if c.u.Squashed {
-			continue // annulled by a watchdog flush
+		c := h[0]
+		// Pop: move the last element to the root and sift down.
+		n := len(h) - 1
+		h[0] = h[n]
+		h[n] = completion{}
+		h = h[:n]
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			min := l
+			if r := l + 1; r < n && h[r].at < h[l].at {
+				min = r
+			}
+			if h[i].at <= h[min].at {
+				break
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
 		}
+		if c.u.Squashed || c.u.GSeq != c.seq {
+			continue // annulled by a flush, or the UOp was recycled
+		}
+		*q = h
 		return c.u
 	}
+	*q = h
 	return nil
 }
+
+// Len returns the number of pending completions.
+func (q eventQueue) Len() int { return len(q) }

@@ -149,6 +149,7 @@ func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 			releaseBranchBlock = true
 		}
 		insts[len(young)-1-i] = u.Inst
+		c.freeUOp(u)
 	}
 	for ts.qLen > 0 {
 		e := ts.fetchQPop()
@@ -157,9 +158,9 @@ func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 		}
 		insts = append(insts, e.inst)
 	}
-	if ts.pendingInst != nil {
-		insts = append(insts, *ts.pendingInst)
-		ts.pendingInst = nil
+	if ts.pendingValid {
+		insts = append(insts, ts.pendingInst)
+		ts.pendingValid = false
 	}
 	ts.replay = append(insts, ts.replay...)
 	ts.lastBlockValid = false

@@ -36,11 +36,27 @@ func (p PhysRef) String() string {
 	return fmt.Sprintf("p%d%s", p.Index, suffix)
 }
 
+// Consumer receives a one-shot wakeup notification when a watched
+// register becomes ready — the software analogue of a tag-broadcast CAM
+// match. token echoes the value passed to Watch, letting a consumer
+// reject notifications registered by an earlier life of the same object
+// (the pipeline recycles UOps; a stale token identifies a dead watch).
+type Consumer interface {
+	OperandReady(p PhysRef, token uint64)
+}
+
+// watcher is one pending wakeup registration.
+type watcher struct {
+	c     Consumer
+	token uint64
+}
+
 // file is one class's physical register file.
 type file struct {
 	ready     []bool
 	free      []int16 // stack of free indices
 	allocated []bool
+	watchers  [][]watcher // per-register consumer lists (wakeup CAM)
 }
 
 // File is the pair of physical register files with free lists and ready
@@ -60,6 +76,7 @@ func New(intRegs, fpRegs int) *File {
 			ready:     make([]bool, n),
 			free:      make([]int16, 0, n),
 			allocated: make([]bool, n),
+			watchers:  make([][]watcher, n),
 		}
 		// Free list as a stack, highest index first so low indices serve
 		// the initial architectural mappings.
@@ -115,6 +132,45 @@ func (f *File) Free(p PhysRef) {
 	fl.allocated[p.Index] = false
 	fl.ready[p.Index] = false
 	fl.free = append(fl.free, p.Index)
+	// Drop pending watches without notifying: a freed register's value
+	// will never be produced, and its watchers have been squashed along
+	// with the in-flight instructions that registered them.
+	clearWatchers(&fl.watchers[p.Index])
+}
+
+// clearWatchers empties a consumer list, dropping the references while
+// keeping the backing array for reuse.
+func clearWatchers(ws *[]watcher) {
+	for i := range *ws {
+		(*ws)[i] = watcher{}
+	}
+	*ws = (*ws)[:0]
+}
+
+// Watch registers c for a one-shot OperandReady notification when p
+// becomes ready, and reports whether a registration was made: an absent
+// or already-ready register notifies nobody (the caller observes its
+// readiness directly). Notifications fire inside SetReady, in
+// registration order.
+func (f *File) Watch(p PhysRef, c Consumer, token uint64) bool {
+	if !p.Valid() {
+		return false
+	}
+	fl := &f.files[p.Class]
+	if fl.ready[p.Index] {
+		return false
+	}
+	fl.watchers[p.Index] = append(fl.watchers[p.Index], watcher{c: c, token: token})
+	return true
+}
+
+// Watchers returns the number of pending wakeup registrations on p (for
+// tests and invariant checks).
+func (f *File) Watchers(p PhysRef) int {
+	if !p.Valid() {
+		return 0
+	}
+	return len(f.files[p.Class].watchers[p.Index])
 }
 
 // Ready reports whether the register's value has been produced.
@@ -125,16 +181,37 @@ func (f *File) Ready(p PhysRef) bool {
 	return f.files[p.Class].ready[p.Index]
 }
 
-// SetReady marks the register's value as produced (writeback/wakeup).
+// SetReady marks the register's value as produced (writeback/wakeup) and
+// broadcasts to the register's consumer list: every watcher registered
+// via Watch is notified exactly once, in registration order, and the
+// list is cleared. This is the event-driven tag broadcast — consumers
+// are told the operand exists instead of polling Ready every cycle.
 func (f *File) SetReady(p PhysRef) {
 	if !p.Valid() {
 		return
 	}
-	f.files[p.Class].ready[p.Index] = true
+	fl := &f.files[p.Class]
+	fl.ready[p.Index] = true
+	ws := fl.watchers[p.Index]
+	if len(ws) == 0 {
+		return
+	}
+	// Reset the list before notifying. Callbacks cannot re-register on
+	// this register (it is ready now, so Watch declines), which makes
+	// draining the captured slice safe.
+	fl.watchers[p.Index] = ws[:0]
+	for i := range ws {
+		w := ws[i]
+		ws[i] = watcher{}
+		w.c.OperandReady(p, w.token)
+	}
 }
 
 // ClearReady marks the register not-ready again (used only by rollback
-// paths in tests; normal execution sets ready exactly once per allocation).
+// paths in tests; normal execution sets ready exactly once per
+// allocation). The consumer list is empty at this point — SetReady
+// drained it — so consumers that still need the value must re-enqueue
+// themselves with Watch, which is how a rollback re-arms the wakeup.
 func (f *File) ClearReady(p PhysRef) {
 	if !p.Valid() {
 		return

@@ -80,11 +80,14 @@ type cell struct {
 }
 
 // runCells executes the cells concurrently and returns results in cell
-// order.
+// order. The Progress callback is serialized (callers pass closures that
+// write to shared state) and skipped for failed cells, whose results are
+// not meaningful.
 func runCells(cells []cell, o Options) ([]smtsim.Result, error) {
 	results := make([]smtsim.Result, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
 	sem := make(chan struct{}, o.workers())
 	for i := range cells {
 		wg.Add(1)
@@ -103,8 +106,10 @@ func runCells(cells []cell, o Options) ([]smtsim.Result, error) {
 				Seed:               o.Seed + 1,
 			})
 			results[i], errs[i] = res, err
-			if o.Progress != nil {
+			if o.Progress != nil && err == nil {
+				progressMu.Lock()
 				o.Progress(fmt.Sprintf("%s iq=%d %s: IPC=%.3f", c.sched, c.iq, c.mix, res.IPC))
+				progressMu.Unlock()
 			}
 		}(i)
 	}
@@ -326,9 +331,28 @@ func Figure1(o Options) (Table, error) {
 	return t, nil
 }
 
+// aloneKey identifies one single-thread baseline cell: everything that
+// determines its IPC.
+type aloneKey struct {
+	bench          string
+	iq             int
+	budget, warmup uint64
+	seed           uint64
+}
+
+var (
+	aloneMu    sync.Mutex
+	aloneCache = map[aloneKey]float64{}
+)
+
 // AloneIPCs runs every benchmark of the mixes single-threaded on the
 // traditional machine at each IQ size — the reference IPCs of the
 // fairness metric. The returned map is keyed by benchmark then IQ size.
+//
+// Results are memoized for the life of the process: the fairness figures
+// for 2-, 3-, and 4-threaded workloads (F4, F6, F8) share most of their
+// baselines, and single-thread runs are deterministic in (benchmark, IQ,
+// budget, warmup, seed), so cmd/smtreport pays for each baseline once.
 func AloneIPCs(threads int, o Options) (map[string]map[int]float64, error) {
 	mixes, err := workload.MixesFor(threads)
 	if err != nil {
@@ -345,9 +369,20 @@ func AloneIPCs(threads int, o Options) (map[string]map[int]float64, error) {
 		}
 	}
 	iqs := o.iqSizes()
+	budget, warmup := o.budget(), o.warmup()
+	out := make(map[string]map[int]float64, len(names))
 	var cells []cell
+	var misses []aloneKey
+	aloneMu.Lock()
 	for _, b := range names {
+		out[b] = make(map[int]float64, len(iqs))
 		for _, q := range iqs {
+			key := aloneKey{bench: b, iq: q, budget: budget, warmup: warmup, seed: o.Seed}
+			if v, ok := aloneCache[key]; ok {
+				out[b][q] = v
+				continue
+			}
+			misses = append(misses, key)
 			cells = append(cells, cell{
 				mix:   workload.Mix{Name: "alone", Benchmarks: []string{b}},
 				sched: smtsim.Traditional,
@@ -355,19 +390,20 @@ func AloneIPCs(threads int, o Options) (map[string]map[int]float64, error) {
 			})
 		}
 	}
+	aloneMu.Unlock()
+	if len(cells) == 0 {
+		return out, nil
+	}
 	flat, err := runCells(cells, o)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]map[int]float64, len(names))
-	k := 0
-	for _, b := range names {
-		out[b] = make(map[int]float64, len(iqs))
-		for _, q := range iqs {
-			out[b][q] = flat[k].IPC
-			k++
-		}
+	aloneMu.Lock()
+	for i, key := range misses {
+		aloneCache[key] = flat[i].IPC
+		out[key.bench][key.iq] = flat[i].IPC
 	}
+	aloneMu.Unlock()
 	return out, nil
 }
 

@@ -12,6 +12,14 @@ import (
 // NoCycle marks a timestamp that has not happened yet.
 const NoCycle int64 = -1
 
+// Waker is notified the moment a UOp's last outstanding source operand
+// becomes ready (NotReady reaches zero). The issue queue installs itself
+// here so wakeup moves instructions onto its ready list instead of the
+// queue re-scanning every entry each cycle.
+type Waker interface {
+	UOpReady(u *UOp)
+}
+
 // UOp is one in-flight instruction. The pipeline owns UOps via pointers;
 // a UOp lives from rename until commit (or squash) and is then recycled.
 type UOp struct {
@@ -45,6 +53,23 @@ type UOp struct {
 	// so the queue can release the right pool.
 	InIQ    bool
 	IQClass int8
+	// IQSlot is the UOp's index in the queue's entry array — a back-index
+	// making removal O(1). Maintained by the queue; meaningless otherwise.
+	IQSlot int32
+	// InReady tracks membership in the queue's incremental ready list
+	// (event-driven wakeup mode).
+	InReady bool
+
+	// NotReady counts source operands whose values have not yet been
+	// produced. It is maintained event-driven: the pipeline initializes
+	// it at rename and registers the UOp on each pending source's
+	// consumer list (regfile.Watch); every tag broadcast (SetReady)
+	// decrements it through OperandReady. Only meaningful in
+	// event-wakeup mode; the legacy polling mode ignores it and
+	// re-derives the count from the register file.
+	NotReady int8
+	// Waker, when non-nil, is notified when NotReady drops to zero.
+	Waker Waker
 	// InDAB reports the UOp sits in the deadlock-avoidance buffer.
 	InDAB bool
 	// Issued reports the UOp has left the scheduler.
@@ -84,13 +109,33 @@ type UOp struct {
 	DepOnNDI bool
 }
 
-// Reset clears the UOp for reuse from a pool.
+// Reset clears the UOp for reuse from a pool. GSeq resets to zero, which
+// never matches a live rename sequence number (the pipeline numbers from
+// one), so stale references to a recycled UOp — pending completion
+// events, register consumer-list entries — identify themselves by token
+// mismatch.
 func (u *UOp) Reset() {
 	*u = UOp{
 		RenamedAt:    NoCycle,
 		DispatchedAt: NoCycle,
 		IssuedAt:     NoCycle,
 		CompletedAt:  NoCycle,
+		Srcs:         [isa.MaxSources]regfile.PhysRef{regfile.NoPhys, regfile.NoPhys},
+		Dest:         regfile.NoPhys,
+		PrevDest:     regfile.NoPhys,
+	}
+}
+
+// OperandReady implements regfile.Consumer: one watched source operand
+// was just produced. Notifications for a squashed UOp, or ones whose
+// token predates a recycle (token != GSeq), are stale and ignored.
+func (u *UOp) OperandReady(_ regfile.PhysRef, token uint64) {
+	if u.Squashed || token != u.GSeq || u.NotReady == 0 {
+		return
+	}
+	u.NotReady--
+	if u.NotReady == 0 && u.Waker != nil {
+		u.Waker.UOpReady(u)
 	}
 }
 

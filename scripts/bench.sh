@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — record the hot-path benchmarks to BENCH_PR1.json.
+#
+# Runs the end-to-end machine benchmark plus the issue-queue
+# microbenchmarks with allocation reporting, 5 samples each, and stores
+# both the raw `go test -bench` output and machine context so before/after
+# comparisons stay honest.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+COUNT="${COUNT:-5}"
+
+RAW="$(go test -run xxx -bench 'Table1Machine|IQ' -benchmem -count "$COUNT" ./... 2>&1 | grep -E '^(Benchmark|ok|PASS|goos|goarch|pkg|cpu)' || true)"
+
+# Assemble a small JSON document: context + raw benchmark lines.
+RAW="$RAW" OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
+import json, os, subprocess, sys
+
+raw = os.environ["RAW"].rstrip("\n")
+go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "benchmarks": "Table1Machine|IQ",
+    "count": int(os.environ["COUNT"]),
+    "go": go_version,
+    # Seed-commit polling implementation, measured on the same machine
+    # (Xeon @ 2.10GHz) before the event-driven wakeup landed — the
+    # reference for the >=2x acceptance criterion.
+    "seed_baseline": {
+        "commit": "53b1c2d",
+        "BenchmarkTable1Machine": {
+            "cycles_per_s": 368174,
+            "instrs_per_s": 353888,
+            "B_per_op": 6354201,
+            "allocs_per_op": 153554,
+        },
+        "BenchmarkStep_ns_per_op": {"traditional": 1789, "2op-block": 2046, "2op-ooo-dispatch": 2305},
+        "BenchmarkStep_allocs_per_op": 6,
+    },
+    "lines": raw.split("\n"),
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}")
+EOF

@@ -193,6 +193,13 @@ type Config struct {
 	// MemoryLatency overrides the main-memory access latency in cycles
 	// (0 = Table 1's 150). The cache geometries stay fixed.
 	MemoryLatency int
+
+	// PollingWakeup selects the legacy per-cycle polling scheduler
+	// wakeup instead of the event-driven tag broadcast. The two are
+	// bit-identical in simulated behavior (the differential tests prove
+	// it); polling exists only as the cross-check reference and is
+	// substantially slower.
+	PollingWakeup bool
 }
 
 // ThreadResult reports one thread's outcome.
@@ -359,6 +366,7 @@ func newCore(cfg Config) (*pipeline.Core, error) {
 	if cfg.MSHRs > 0 {
 		pcfg.MSHRs = cfg.MSHRs
 	}
+	pcfg.PollingWakeup = cfg.PollingWakeup
 	if cfg.MemoryLatency > 0 {
 		h := cache.DefaultHierarchy()
 		h.MemCycles = cfg.MemoryLatency
