@@ -32,6 +32,7 @@ func main() {
 		part0     = flag.Int("iq0", 0, "zero-comparator IQ entries (with -iq1/-iq2 overrides -iq)")
 		part1     = flag.Int("iq1", 0, "one-comparator IQ entries")
 		part2     = flag.Int("iq2", 0, "two-comparator IQ entries")
+		sanitize  = flag.Bool("sanitize", false, "run the cycle-level invariant sanitizer (roughly 10x slower)")
 		listBench = flag.Bool("list", false, "list available benchmarks and exit")
 	)
 	flag.Parse()
@@ -44,9 +45,24 @@ func main() {
 		return
 	}
 
+	// Flag sanity, before any simulator machinery runs: a bad value is a
+	// usage error, not a deep panic or a silently ignored knob.
+	switch {
+	case *iqSize < 1:
+		usage("-iq must be positive, got %d", *iqSize)
+	case *part0 < 0 || *part1 < 0 || *part2 < 0:
+		usage("-iq0/-iq1/-iq2 must be non-negative, got %d/%d/%d", *part0, *part1, *part2)
+	case *n < 1:
+		usage("-n must be positive")
+	case *bufCap < 0:
+		usage("-dispatch-buf must be non-negative, got %d", *bufCap)
+	case flag.NArg() > 0:
+		usage("unexpected arguments: %v", flag.Args())
+	}
+
 	scheduler, err := smtsim.ParseScheduler(*sched)
 	if err != nil {
-		fatal(err)
+		usage("%s", strings.TrimPrefix(err.Error(), "smtsim: "))
 	}
 	cfg := smtsim.Config{
 		Benchmarks:         strings.Split(*benchList, ","),
@@ -59,6 +75,7 @@ func main() {
 		RoundRobinFetch:    *rrFetch,
 		FetchGate:          *gate,
 		IQPartition:        [3]int{*part0, *part1, *part2},
+		Sanitize:           *sanitize,
 	}
 	switch *deadlock {
 	case "dab":
@@ -68,7 +85,7 @@ func main() {
 	case "none":
 		cfg.Deadlock = smtsim.DeadlockNone
 	default:
-		fatal(fmt.Errorf("unknown deadlock mechanism %q", *deadlock))
+		usage("unknown deadlock mechanism %q (want dab | watchdog | none)", *deadlock)
 	}
 
 	res, err := smtsim.Run(cfg)
@@ -102,4 +119,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smtsim:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error, prints the flag summary, and
+// exits with the conventional usage status.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smtsim: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

@@ -30,6 +30,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag sanity before any sweep spins up: a bad value is a usage
+	// error, not a hung or panicking batch of simulations.
+	switch {
+	case *budget < 1:
+		usage("-budget must be positive")
+	case *iqSize < 1:
+		usage("-iq must be positive, got %d", *iqSize)
+	case *parallel < 0:
+		usage("-parallel must be non-negative, got %d", *parallel)
+	case *csv && *bars:
+		usage("-csv and -bars are mutually exclusive")
+	case flag.NArg() > 0:
+		usage("unexpected arguments: %v", flag.Args())
+	}
+
 	o := sweep.Options{Budget: *budget, Seed: *seed, Parallelism: *parallel}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
@@ -77,7 +92,7 @@ func main() {
 	case "memlat":
 		t, err = sweep.MemoryLatencySweep(2, *iqSize, nil, o)
 	default:
-		err = fmt.Errorf("unknown figure id %q", *fig)
+		usage("unknown figure id %q", *fig)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smtsweep:", err)
@@ -91,4 +106,12 @@ func main() {
 	default:
 		fmt.Print(t.Render())
 	}
+}
+
+// usage reports a flag-validation error, prints the flag summary, and
+// exits with the conventional usage status.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smtsweep: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

@@ -70,6 +70,11 @@ func TestWakeupDifferentialVariants(t *testing.T) {
 
 func assertWakeupIdentical(t *testing.T, cfg smtsim.Config) {
 	t.Helper()
+	// Both runs execute under the invariant sanitizer: any structural
+	// corruption fails the run directly, in addition to the statistical
+	// comparison below. The checker is read-only, so it cannot perturb
+	// the bit-identity being asserted.
+	cfg.Sanitize = true
 	event := cfg
 	event.PollingWakeup = false
 	polling := cfg

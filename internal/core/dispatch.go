@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"smtsim/internal/iq"
 	"smtsim/internal/regfile"
 	"smtsim/internal/rob"
@@ -455,6 +457,49 @@ func (d *Dispatcher) DrainThread(t int) (buffered, dab []*uop.UOp) {
 	dab = d.dab.DrainThread(t)
 	d.taint[t] = make(map[regfile.PhysRef]bool)
 	return buffered, dab
+}
+
+// CheckInvariants verifies the dispatch stage's structural contracts:
+// each thread's buffer holds renamed, undispatched instructions in
+// strict program order, and — in event-wakeup mode — the NDI/DI
+// classification every buffered instruction would receive from its
+// event-maintained not-ready counter agrees with a from-scratch
+// recomputation against the register file (the Figure 2 taxonomy redone
+// with fresh eyes each cycle). It returns an error describing the first
+// violation.
+func (d *Dispatcher) CheckInvariants(q *iq.Queue, rf *regfile.File) error {
+	for t, buf := range d.bufs {
+		var prev uint64
+		for j := 0; j < buf.Len(); j++ {
+			u := buf.At(j)
+			switch {
+			case u.InIQ || u.InDAB:
+				return fmt.Errorf("core: thread %d buffered gseq=%d already in IQ/DAB", t, u.GSeq)
+			case u.Issued:
+				return fmt.Errorf("core: thread %d buffered gseq=%d already issued", t, u.GSeq)
+			case u.DispatchedAt != uop.NoCycle:
+				return fmt.Errorf("core: thread %d buffered gseq=%d carries dispatch stamp %d", t, u.GSeq, u.DispatchedAt)
+			case j > 0 && u.GSeq <= prev:
+				return fmt.Errorf("core: thread %d buffer order broken at %d: gseq %d after %d", t, j, u.GSeq, prev)
+			}
+			prev = u.GSeq
+			if d.eventWakeup {
+				polled := u.NumSrcNotReady(rf)
+				if int(u.NotReady) != polled {
+					return fmt.Errorf("core: thread %d buffered gseq=%d pc=%#x counter says %d non-ready, register file says %d",
+						t, u.GSeq, u.Inst.PC, u.NotReady, polled)
+				}
+				if q.ClassSupported(int(u.NotReady)) != q.ClassSupported(polled) {
+					return fmt.Errorf("core: thread %d gseq=%d NDI classification diverges (counter %d, polled %d)",
+						t, u.GSeq, u.NotReady, polled)
+				}
+			}
+		}
+	}
+	if got := d.dab.Len(); got > d.dab.Cap() {
+		return fmt.Errorf("core: DAB holds %d entries over capacity %d", got, d.dab.Cap())
+	}
+	return nil
 }
 
 // SquashYoungerThan removes thread t's undispatched instructions younger

@@ -1,0 +1,97 @@
+package core
+
+import "testing"
+
+// TestWatchdogTick drives the countdown through dispatch/stall
+// sequences and checks exactly when it fires.
+func TestWatchdogTick(t *testing.T) {
+	const D, S = true, false // dispatched / stalled cycle
+	cases := []struct {
+		name     string
+		limit    int64
+		cycles   []bool
+		wantFire []int // indexes into cycles where Tick must return true
+		expiries uint64
+	}{
+		{
+			name:     "fires-after-limit-stalls",
+			limit:    3,
+			cycles:   []bool{S, S, S},
+			wantFire: []int{2},
+			expiries: 1,
+		},
+		{
+			name:     "dispatch-resets-countdown",
+			limit:    3,
+			cycles:   []bool{S, S, D, S, S, S},
+			wantFire: []int{5},
+			expiries: 1,
+		},
+		{
+			name:     "steady-dispatch-never-fires",
+			limit:    2,
+			cycles:   []bool{D, D, D, D, D, D},
+			wantFire: nil,
+			expiries: 0,
+		},
+		{
+			name:     "rearms-after-expiry",
+			limit:    2,
+			cycles:   []bool{S, S, S, S, S, S},
+			wantFire: []int{1, 3, 5},
+			expiries: 3,
+		},
+		{
+			name:     "limit-one-fires-every-stall",
+			limit:    1,
+			cycles:   []bool{S, D, S, S},
+			wantFire: []int{0, 2, 3},
+			expiries: 3,
+		},
+		{
+			name:     "dispatch-just-before-expiry",
+			limit:    3,
+			cycles:   []bool{S, S, D, S, S, D, S, S, S},
+			wantFire: []int{8},
+			expiries: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWatchdog(tc.limit)
+			fired := []int{}
+			for i, dispatched := range tc.cycles {
+				if w.Tick(dispatched) {
+					fired = append(fired, i)
+				}
+			}
+			if len(fired) != len(tc.wantFire) {
+				t.Fatalf("fired at %v, want %v", fired, tc.wantFire)
+			}
+			for i := range fired {
+				if fired[i] != tc.wantFire[i] {
+					t.Fatalf("fired at %v, want %v", fired, tc.wantFire)
+				}
+			}
+			if w.Expiries != tc.expiries {
+				t.Errorf("Expiries = %d, want %d", w.Expiries, tc.expiries)
+			}
+			if w.Limit() != tc.limit {
+				t.Errorf("Limit = %d, want %d", w.Limit(), tc.limit)
+			}
+		})
+	}
+}
+
+func TestWatchdogRejectsBadLimit(t *testing.T) {
+	for _, limit := range []int64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWatchdog(%d) did not panic", limit)
+				}
+			}()
+			NewWatchdog(limit)
+		}()
+	}
+}

@@ -433,3 +433,83 @@ func (q *Queue) ForEach(fn func(*uop.UOp)) {
 		fn(u)
 	}
 }
+
+// ReadyLen returns the current ready-list length (event-wakeup mode).
+func (q *Queue) ReadyLen() int { return len(q.ready) }
+
+// CheckInvariants verifies the queue's structural contracts against the
+// register file: occupancy accounting (per-class and per-thread counts
+// match the entries), back-index integrity, entry-class sufficiency
+// (every resident sits in an entry with enough tag comparators for its
+// current non-ready source count), and — in event-wakeup mode — that
+// every entry's not-ready counter matches a from-scratch register-file
+// poll and that the incremental ready list is exactly the age-sorted set
+// of entries whose counters reached zero. Returns an error describing
+// the first violation.
+func (q *Queue) CheckInvariants(rf *regfile.File) error {
+	var used [NumClasses]int
+	perThread := make([]int, len(q.perThread))
+	for i, u := range q.entries {
+		if u == nil {
+			return fmt.Errorf("iq: nil entry at slot %d", i)
+		}
+		if !u.InIQ {
+			return fmt.Errorf("iq: entry gseq=%d pc=%#x at slot %d has InIQ unset", u.GSeq, u.Inst.PC, i)
+		}
+		if int(u.IQSlot) != i {
+			return fmt.Errorf("iq: entry gseq=%d back-index %d, actual slot %d", u.GSeq, u.IQSlot, i)
+		}
+		if u.IQClass < 0 || int(u.IQClass) >= NumClasses {
+			return fmt.Errorf("iq: entry gseq=%d has comparator class %d", u.GSeq, u.IQClass)
+		}
+		used[u.IQClass]++
+		if u.Thread < 0 || u.Thread >= len(perThread) {
+			return fmt.Errorf("iq: entry gseq=%d names thread %d of %d", u.GSeq, u.Thread, len(perThread))
+		}
+		perThread[u.Thread]++
+		polled := u.NumSrcNotReady(rf)
+		if polled > int(u.IQClass) {
+			return fmt.Errorf("iq: entry gseq=%d has %d non-ready sources in a %d-comparator entry",
+				u.GSeq, polled, u.IQClass)
+		}
+		if q.event {
+			if int(u.NotReady) != polled {
+				return fmt.Errorf("iq: entry gseq=%d pc=%#x counter says %d non-ready, register file says %d",
+					u.GSeq, u.Inst.PC, u.NotReady, polled)
+			}
+			if u.NotReady == 0 && !u.InReady {
+				return fmt.Errorf("iq: entry gseq=%d is ready but missing from the ready list", u.GSeq)
+			}
+			if u.NotReady > 0 && u.InReady {
+				return fmt.Errorf("iq: entry gseq=%d on the ready list with %d pending sources", u.GSeq, u.NotReady)
+			}
+		}
+	}
+	for k := 0; k < NumClasses; k++ {
+		if used[k] != q.used[k] {
+			return fmt.Errorf("iq: class-%d occupancy count %d, actual %d", k, q.used[k], used[k])
+		}
+		if used[k] > q.part[k] {
+			return fmt.Errorf("iq: class-%d occupancy %d exceeds partition %d", k, used[k], q.part[k])
+		}
+	}
+	for t := range perThread {
+		if perThread[t] != q.perThread[t] {
+			return fmt.Errorf("iq: thread %d occupancy count %d, actual %d", t, q.perThread[t], perThread[t])
+		}
+	}
+	if q.event {
+		for i, u := range q.ready {
+			if !u.InIQ || !u.InReady {
+				return fmt.Errorf("iq: ready list holds gseq=%d with InIQ=%t InReady=%t", u.GSeq, u.InIQ, u.InReady)
+			}
+			if i > 0 && q.ready[i-1].GSeq >= u.GSeq {
+				return fmt.Errorf("iq: ready list out of age order at %d (gseq %d >= %d)",
+					i, q.ready[i-1].GSeq, u.GSeq)
+			}
+		}
+	} else if len(q.ready) > 0 {
+		return fmt.Errorf("iq: polling mode with %d ready-list entries", len(q.ready))
+	}
+	return nil
+}

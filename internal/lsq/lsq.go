@@ -68,6 +68,13 @@ func (q *LSQ) DrainYoungerThan(gseq uint64) {
 	}
 }
 
+// ForEach visits occupied entries oldest-first (invariant checks).
+func (q *LSQ) ForEach(fn func(*uop.UOp)) {
+	for i := 0; i < q.size; i++ {
+		fn(q.buf[(q.head+i)%len(q.buf)])
+	}
+}
+
 // DrainAll empties the queue (watchdog flush path).
 func (q *LSQ) DrainAll() {
 	for q.size > 0 {

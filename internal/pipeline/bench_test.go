@@ -23,6 +23,9 @@ func benchCore(b testing.TB, policy icore.Policy, names ...string) *Core {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// The benchmarks and the zero-alloc test characterize the production
+	// cycle path, so the test-wide sanitizer (sanitize_test.go) stays out.
+	c.disableSanitizer()
 	return c
 }
 

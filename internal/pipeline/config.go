@@ -136,6 +136,18 @@ type Config struct {
 	// StallLimit is the no-commit cycle count treated as a deadlock by
 	// the safety net (0 = default).
 	StallLimit int64
+
+	// Sanitize enables the cycle-granular invariant sanitizer (package
+	// internal/simsan): after every Step, the machine's structural
+	// contracts — ROB program order, wakeup-counter/consumer-list
+	// agreement, physical-register conservation, the DAB's oldest-and-
+	// ready property, NDI classification — are re-derived from scratch
+	// and any divergence surfaces as a structured error from Run. The
+	// checker is read-only, so a clean sanitized run is bit-identical to
+	// an unsanitized one; it costs roughly an order of magnitude in
+	// simulation speed and is off by default (and always on in the
+	// pipeline package's tests).
+	Sanitize bool
 }
 
 // DefaultConfig returns the Table 1 machine with a 64-entry IQ and the

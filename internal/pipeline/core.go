@@ -17,6 +17,7 @@ import (
 	"smtsim/internal/regfile"
 	"smtsim/internal/rename"
 	"smtsim/internal/rob"
+	"smtsim/internal/simsan"
 	"smtsim/internal/uop"
 )
 
@@ -141,6 +142,14 @@ type Core struct {
 	events  eventQueue
 	scratch []*uop.UOp
 
+	// san, when non-nil, re-validates the machine's structural
+	// invariants after every cycle (Config.Sanitize, or any run inside
+	// this package's tests). sanErr latches the first violation so Run
+	// can surface it; sanPanic makes violations fail-stop (test mode).
+	san      *simsan.Checker
+	sanErr   error
+	sanPanic bool
+
 	// eventWakeup mirrors !cfg.PollingWakeup: writeback broadcasts to
 	// per-register consumer lists instead of the scheduler re-polling.
 	eventWakeup bool
@@ -187,15 +196,15 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 		nthreads: n,
 		// Rename sequence numbers start at one so a reset UOp's zero GSeq
 		// never matches a live token (see uop.Reset).
-		gseq:     1,
-		rf:       regfile.New(cfg.IntRegs, cfg.FpRegs),
-		q:        iq.NewPartitioned(cfg.queuePartition(), n),
-		disp:     core.NewDispatcher(cfg.Policy, cfg.Width, cfg.DispatchBufCap, n),
-		fus:      fu.MustNew(fu.DefaultConfig()),
-		hier:     cfg.Hierarchy,
-		btb:      bpred.NewBTB(2048, 2),
-		sel:      fetch.NewSelector(cfg.FetchPolicy, n),
-		scratch:  make([]*uop.UOp, 0, cfg.IQSize),
+		gseq:    1,
+		rf:      regfile.New(cfg.IntRegs, cfg.FpRegs),
+		q:       iq.NewPartitioned(cfg.queuePartition(), n),
+		disp:    core.NewDispatcher(cfg.Policy, cfg.Width, cfg.DispatchBufCap, n),
+		fus:     fu.MustNew(fu.DefaultConfig()),
+		hier:    cfg.Hierarchy,
+		btb:     bpred.NewBTB(2048, 2),
+		sel:     fetch.NewSelector(cfg.FetchPolicy, n),
+		scratch: make([]*uop.UOp, 0, cfg.IQSize),
 	}
 	if c.hier == nil {
 		c.hier = cache.DefaultHierarchy()
@@ -237,7 +246,49 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 		})
 	}
 	c.commitBase = make([]uint64, n)
+	if cfg.Sanitize || testSanitize {
+		c.san = simsan.New(simsan.Machine{
+			EventWakeup: c.eventWakeup,
+			RF:          c.rf,
+			IQ:          c.q,
+			Disp:        c.disp,
+			ROBs:        c.robs,
+			RATs:        c.rats,
+			LSQs:        c.lsqs,
+		})
+		// Violations inside the test suite fail-stop at the offending
+		// cycle; explicitly requested sanitizing reports through Run.
+		c.sanPanic = !cfg.Sanitize
+	}
 	return c, nil
+}
+
+// testSanitize force-enables the sanitizer for every core built by this
+// package's test binary (set by an init in sanitize_test.go); it is
+// always false in production builds.
+var testSanitize bool
+
+// Sanitizer returns the invariant checker, or nil when sanitizing is
+// disabled.
+func (c *Core) Sanitizer() *simsan.Checker { return c.san }
+
+// SanitizerError returns the first invariant violation detected so far
+// (nil when clean or when sanitizing is disabled). Run surfaces the same
+// error; this accessor serves callers that drive Step directly.
+func (c *Core) SanitizerError() error { return c.sanErr }
+
+// sanitize runs the end-of-cycle invariant sweep.
+func (c *Core) sanitize() {
+	err := c.san.CheckCycle(c.cycle)
+	if err == nil {
+		return
+	}
+	if c.sanErr == nil {
+		c.sanErr = err
+	}
+	if c.sanPanic {
+		panic(err)
+	}
 }
 
 // Cycle returns the current cycle number.
@@ -338,6 +389,9 @@ func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
 	}
 	for {
 		c.Step()
+		if c.sanErr != nil {
+			return c.Results(), fmt.Errorf("pipeline: invariant violation: %w", c.sanErr)
+		}
 		for t, ts := range c.threads {
 			if ts.committed-c.commitBase[t] >= maxCommit {
 				return c.Results(), nil
@@ -368,6 +422,9 @@ func (c *Core) Step() {
 	c.rename()
 	c.fetch()
 	c.q.Sample()
+	if c.san != nil {
+		c.sanitize()
+	}
 }
 
 // writeback drains due completion events: results become visible to the

@@ -1,0 +1,235 @@
+package pipeline
+
+import (
+	"testing"
+
+	icore "smtsim/internal/core"
+	"smtsim/internal/synth"
+	"smtsim/internal/uop"
+)
+
+// synthSpecs builds thread specs from synthetic profiles with fixed
+// seeds, so both cores of a comparison read identical traces.
+func synthSpecs(t *testing.T, profiles ...synth.Profile) []ThreadSpec {
+	t.Helper()
+	specs := make([]ThreadSpec, len(profiles))
+	for i, p := range profiles {
+		prog, err := synth.Compile(p, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = ThreadSpec{Name: p.Name, Reader: prog.NewStream(uint64(100 + i))}
+	}
+	return specs
+}
+
+// recordStreams attaches a commit hook collecting each thread's
+// committed (seq, pc) stream.
+func recordStreams(c *Core, n int) [][]commitRec {
+	streams := make([][]commitRec, n)
+	c.SetCommitHook(func(u *uop.UOp) {
+		streams[u.Thread] = append(streams[u.Thread], commitRec{seq: u.Inst.Seq, pc: u.Inst.PC})
+	})
+	return streams
+}
+
+// TestWatchdogFlushRefetch forces whole-pipeline flushes at several
+// points of a run and checks the recovery contract from Section 4: the
+// squashed instructions are refetched and recommitted in program order,
+// so the committed stream is indistinguishable from an undisturbed
+// run's — the flush costs cycles, never correctness. The run executes
+// under the invariant sanitizer, which additionally checks that every
+// flush conserves physical registers and leaves no stale IQ or
+// consumer-list state.
+func TestWatchdogFlushRefetch(t *testing.T) {
+	cases := []struct {
+		name        string
+		policy      icore.Policy
+		flushCycles []int64
+	}{
+		{"traditional-single-flush", icore.InOrder, []int64{500}},
+		{"oood-single-flush", icore.TwoOpOOOD, []int64{500}},
+		{"oood-repeated-flush", icore.TwoOpOOOD, []int64{300, 600, 900}},
+		{"oood-back-to-back-flush", icore.TwoOpOOOD, []int64{500, 501, 502}},
+		{"2op-block-flush", icore.TwoOpBlock, []int64{400, 800}},
+	}
+	profiles := []synth.Profile{
+		synth.MedILPProfile("synth0"),
+		synth.LowILPProfile("synth1"),
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() *Core {
+				cfg := DefaultConfig()
+				cfg.Policy = tc.policy
+				c, err := New(cfg, synthSpecs(t, profiles...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+
+			undisturbed := build()
+			wantStreams := recordStreams(undisturbed, len(profiles))
+			if _, err := undisturbed.Run(4_000); err != nil {
+				t.Fatal(err)
+			}
+
+			flushed := build()
+			gotStreams := recordStreams(flushed, len(profiles))
+			next := 0
+			for flushed.MaxCommitted() < 4_000 {
+				flushed.Step()
+				if next < len(tc.flushCycles) && flushed.Cycle() >= tc.flushCycles[next] {
+					flushed.flushAll()
+					next++
+				}
+			}
+			if next != len(tc.flushCycles) {
+				t.Fatalf("only %d of %d flushes happened", next, len(tc.flushCycles))
+			}
+
+			for tid := range gotStreams {
+				got, want := gotStreams[tid], wantStreams[tid]
+				for i, r := range got {
+					if r.seq != uint64(i) {
+						t.Fatalf("thread %d: commit %d has trace seq %d after flush (skip or duplicate)",
+							tid, i, r.seq)
+					}
+					if i < len(want) && r != want[i] {
+						t.Fatalf("thread %d: commit %d diverges from undisturbed run: %+v vs %+v",
+							tid, i, r, want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWatchdogExpiresUnderPressure checks the full mechanism end to
+// end: a memory-bound workload on a watchdog-guarded machine with a
+// tight limit actually trips the watchdog, recovers, and still commits
+// an exact replay of the trace.
+func TestWatchdogExpiresUnderPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = icore.TwoOpOOOD
+	cfg.Deadlock = DeadlockWatchdog
+	cfg.WatchdogLimit = 10
+	cfg.IQSize = 8
+	c, err := New(cfg, synthSpecs(t,
+		synth.LowILPProfile("chase0"), synth.LowILPProfile("chase1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := recordStreams(c, 2)
+	if _, err := c.Run(4_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.wdog.Expiries == 0 {
+		t.Fatal("watchdog never expired; the test lost its subject")
+	}
+	for tid, s := range streams {
+		for i, r := range s {
+			if r.seq != uint64(i) {
+				t.Fatalf("thread %d: commit %d has trace seq %d (skip or duplicate across %d flushes)",
+					tid, i, r.seq, c.wdog.Expiries)
+			}
+		}
+	}
+}
+
+// TestDABPriorityOverIQ fabricates the Section 4 arbitration scenario
+// directly: one instruction in the deadlock-avoidance buffer and ready
+// instructions in the IQ. Issue must take the DAB instruction and
+// suppress IQ selection entirely that cycle (the paper's simpler
+// arbitration); once the DAB drains, IQ issue resumes.
+func TestDABPriorityOverIQ(t *testing.T) {
+	for _, policy := range []icore.Policy{icore.TwoOpBlock, icore.TwoOpOOOD} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Policy = policy
+			c, err := New(cfg, synthSpecs(t,
+				synth.MedILPProfile("synth0"), synth.MedILPProfile("synth1")))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Advance until some thread's ROB-oldest instruction is
+			// waiting in the IQ — the candidate the DAB exists for —
+			// while the IQ also holds another (non-load) instruction to
+			// serve as the suppressed rival.
+			var victim, rival *uop.UOp
+			for cycle := 0; cycle < 50_000 && victim == nil; cycle++ {
+				c.Step()
+				for tid := 0; tid < 2 && victim == nil; tid++ {
+					u := c.robs[tid].Head()
+					if u == nil || !u.InIQ || u.Issued {
+						continue
+					}
+					rival = nil
+					c.q.ForEach(func(v *uop.UOp) {
+						if rival == nil && v != u && !v.IsLoad() {
+							rival = v
+						}
+					})
+					if rival != nil {
+						victim = u
+					}
+				}
+			}
+			if victim == nil {
+				t.Fatal("no ROB-oldest-in-IQ plus rival combination within 50k cycles")
+			}
+
+			// Make its sources ready (as if their producers completed),
+			// then move it from the IQ to the DAB — exactly the transfer
+			// dispatch performs when the IQ is full.
+			for _, s := range victim.Srcs {
+				if s.Valid() {
+					c.rf.SetReady(s)
+				}
+			}
+			c.q.Remove(victim)
+			c.disp.DAB().Insert(victim)
+
+			// Give the rival ready sources too, so IQ selection has a
+			// genuine candidate to suppress.
+			for _, s := range rival.Srcs {
+				if s.Valid() {
+					c.rf.SetReady(s)
+				}
+			}
+
+			// Fresh cycle so functional units are free, then one issue
+			// pass: the DAB instruction must go, the ready IQ rival must
+			// not.
+			c.cycle++
+			iqBefore, dabBefore := c.iqIssued, c.dabIssues
+			c.issue()
+			if !victim.Issued {
+				t.Error("DAB instruction did not issue")
+			}
+			if c.dabIssues != dabBefore+1 {
+				t.Errorf("dabIssues = %d, want %d", c.dabIssues, dabBefore+1)
+			}
+			if c.iqIssued != iqBefore {
+				t.Errorf("IQ issued %d instructions in a DAB cycle, want 0 (DAB precedence)",
+					c.iqIssued-iqBefore)
+			}
+			if rival.Issued {
+				t.Error("ready IQ instruction issued despite occupied DAB")
+			}
+
+			// The DAB is now empty: the next issue pass resumes IQ
+			// selection and the rival goes.
+			c.cycle++
+			c.issue()
+			if c.iqIssued == iqBefore {
+				t.Error("IQ issue did not resume after the DAB drained")
+			}
+			if !rival.Issued {
+				t.Error("ready IQ instruction still not issued after the DAB drained")
+			}
+		})
+	}
+}

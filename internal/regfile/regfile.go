@@ -226,3 +226,56 @@ func (f *File) Allocated(p PhysRef) bool {
 	}
 	return f.files[p.Class].allocated[p.Index]
 }
+
+// VisitWatchers calls fn for every pending wakeup registration across
+// both register classes. Invariant checkers use it to cross-check the
+// consumer lists against the event-maintained not-ready counters; fn
+// must not call Watch, Free, or SetReady.
+func (f *File) VisitWatchers(fn func(p PhysRef, c Consumer, token uint64)) {
+	for cls := range f.files {
+		fl := &f.files[cls]
+		for idx := range fl.watchers {
+			p := PhysRef{Class: isa.RegClass(cls), Index: int16(idx)}
+			for _, w := range fl.watchers[idx] {
+				fn(p, w.c, w.token)
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies the register file's internal contracts: the
+// free list holds each unallocated register exactly once and no
+// allocated one; free registers are not marked ready; and no consumer
+// list survives on a register whose value already exists (SetReady
+// drains lists, Watch declines ready registers, Free clears). It
+// returns an error describing the first violation.
+func (f *File) CheckInvariants() error {
+	for cls := range f.files {
+		fl := &f.files[cls]
+		onFree := make([]bool, len(fl.ready))
+		for _, idx := range fl.free {
+			if int(idx) < 0 || int(idx) >= len(fl.ready) {
+				return fmt.Errorf("regfile: free list holds out-of-range index %d (%s)", idx, isa.RegClass(cls))
+			}
+			if onFree[idx] {
+				return fmt.Errorf("regfile: p%d%s appears twice on the free list", idx, isa.RegClass(cls))
+			}
+			onFree[idx] = true
+			if fl.allocated[idx] {
+				return fmt.Errorf("regfile: p%d%s is on the free list while allocated", idx, isa.RegClass(cls))
+			}
+		}
+		for idx := range fl.ready {
+			if !fl.allocated[idx] && !onFree[idx] {
+				return fmt.Errorf("regfile: p%d%s leaked: neither allocated nor free", idx, isa.RegClass(cls))
+			}
+			if !fl.allocated[idx] && fl.ready[idx] {
+				return fmt.Errorf("regfile: free register p%d%s marked ready", idx, isa.RegClass(cls))
+			}
+			if fl.ready[idx] && len(fl.watchers[idx]) > 0 {
+				return fmt.Errorf("regfile: ready register p%d%s still has %d watchers", idx, isa.RegClass(cls), len(fl.watchers[idx]))
+			}
+		}
+	}
+	return nil
+}

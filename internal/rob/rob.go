@@ -3,7 +3,11 @@
 // drained in program order at commit (Table 1: 96 entries per thread).
 package rob
 
-import "smtsim/internal/uop"
+import (
+	"fmt"
+
+	"smtsim/internal/uop"
+)
 
 // ROB is one thread's reorder buffer, a ring buffer of UOp pointers.
 type ROB struct {
@@ -113,4 +117,30 @@ func (r *ROB) ForEach(fn func(*uop.UOp)) {
 	for i := 0; i < r.size; i++ {
 		fn(r.buf[(r.head+i)%len(r.buf)])
 	}
+}
+
+// CheckInvariants verifies the buffer's structural contracts: every
+// occupied slot holds a renamed, unsquashed UOp of thread `thread`, and
+// allocation order equals program order (strictly ascending rename
+// sequence from head to tail). It returns an error describing the first
+// violation.
+func (r *ROB) CheckInvariants(thread int) error {
+	var prev uint64
+	for i := 0; i < r.size; i++ {
+		u := r.buf[(r.head+i)%len(r.buf)]
+		switch {
+		case u == nil:
+			return fmt.Errorf("rob: nil entry at depth %d", i)
+		case u.Thread != thread:
+			return fmt.Errorf("rob: thread-%d buffer holds gseq=%d of thread %d", thread, u.GSeq, u.Thread)
+		case u.Squashed:
+			return fmt.Errorf("rob: squashed gseq=%d still in flight at depth %d", u.GSeq, i)
+		case u.RenamedAt == uop.NoCycle:
+			return fmt.Errorf("rob: unrenamed gseq=%d in flight at depth %d", u.GSeq, i)
+		case i > 0 && u.GSeq <= prev:
+			return fmt.Errorf("rob: program order broken at depth %d: gseq %d after %d", i, u.GSeq, prev)
+		}
+		prev = u.GSeq
+	}
+	return nil
 }

@@ -200,6 +200,14 @@ type Config struct {
 	// it); polling exists only as the cross-check reference and is
 	// substantially slower.
 	PollingWakeup bool
+
+	// Sanitize enables the cycle-granular invariant sanitizer (package
+	// internal/simsan): every structural contract of the machine is
+	// re-validated each simulated cycle and the first violation is
+	// returned as an error. Read-only — a clean sanitized run is
+	// bit-identical to an unsanitized one — but roughly an order of
+	// magnitude slower; meant for tests, fuzzing, and debugging.
+	Sanitize bool
 }
 
 // ThreadResult reports one thread's outcome.
@@ -320,6 +328,26 @@ func newCore(cfg Config) (*pipeline.Core, error) {
 	if len(cfg.Benchmarks) > 0 && len(cfg.TraceFiles) > 0 {
 		return nil, fmt.Errorf("smtsim: Benchmarks and TraceFiles are mutually exclusive")
 	}
+	// Reject negative knobs here with a descriptive error; deeper layers
+	// treat their inputs as already-validated and panic on nonsense.
+	switch {
+	case cfg.IQSize < 0:
+		return nil, fmt.Errorf("smtsim: negative IQ size %d", cfg.IQSize)
+	case cfg.IQPartition[0] < 0 || cfg.IQPartition[1] < 0 || cfg.IQPartition[2] < 0:
+		return nil, fmt.Errorf("smtsim: negative IQ partition class in %v", cfg.IQPartition)
+	case cfg.DispatchBufferCap < 0:
+		return nil, fmt.Errorf("smtsim: negative dispatch buffer capacity %d", cfg.DispatchBufferCap)
+	case cfg.PerThreadIQCap < 0:
+		return nil, fmt.Errorf("smtsim: negative per-thread IQ cap %d", cfg.PerThreadIQCap)
+	case cfg.ROBPerThread < 0 || cfg.LSQPerThread < 0:
+		return nil, fmt.Errorf("smtsim: negative ROB/LSQ capacity %d/%d", cfg.ROBPerThread, cfg.LSQPerThread)
+	case cfg.WatchdogLimit < 0:
+		return nil, fmt.Errorf("smtsim: negative watchdog limit %d", cfg.WatchdogLimit)
+	case cfg.MSHRs < 0:
+		return nil, fmt.Errorf("smtsim: negative MSHR count %d", cfg.MSHRs)
+	case cfg.MemoryLatency < 0:
+		return nil, fmt.Errorf("smtsim: negative memory latency %d", cfg.MemoryLatency)
+	}
 	pcfg := pipeline.DefaultConfig()
 	if cfg.IQSize > 0 {
 		pcfg.IQSize = cfg.IQSize
@@ -367,6 +395,7 @@ func newCore(cfg Config) (*pipeline.Core, error) {
 		pcfg.MSHRs = cfg.MSHRs
 	}
 	pcfg.PollingWakeup = cfg.PollingWakeup
+	pcfg.Sanitize = cfg.Sanitize
 	if cfg.MemoryLatency > 0 {
 		h := cache.DefaultHierarchy()
 		h.MemCycles = cfg.MemoryLatency
