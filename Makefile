@@ -1,13 +1,25 @@
 # Tier-1 verification and benchmark recording.
 
-.PHONY: verify bench test vet race
+.PHONY: verify bench test vet lint race
 
-# verify is the tier-1 flow: vet, build, the full test suite, and the
-# race detector over the concurrent sweep harness.
-verify: vet test race
+# verify is the tier-1 flow: vet, lint, build, the full test suite, and
+# the race detector over the concurrent sweep harness.
+verify: vet lint test race
 
 vet:
 	go vet ./...
+
+# lint runs the repository's own analyzer suite (detlint, allocfree,
+# statescope, cyclepure) over the tree through the go vet driver, so
+# results are cached per package like any vet check.
+lint: bin/smtlint
+	go vet -vettool=$(abspath bin/smtlint) ./...
+
+bin/smtlint: FORCE
+	go build -o bin/smtlint ./cmd/smtlint
+
+.PHONY: FORCE
+FORCE:
 
 test:
 	go build ./... && go test ./...

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+
+	"smtsim/internal/analysis/load"
+	"smtsim/internal/analysis/smtlint"
+)
+
+// vetConfig mirrors the JSON the go command writes for each analyzed
+// package when running a vet tool (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one package as directed by a go vet .cfg file and
+// exits: 0 when clean, 2 when diagnostics were reported.
+func unitCheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("smtlint: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("smtlint: parsing %s: %v", cfgFile, err)
+	}
+
+	// go vet caches and feeds back a per-package "facts" file. This
+	// suite derives everything from one package plus export data, so the
+	// file only needs to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("smtlint.facts.v1\n"), 0o666); err != nil {
+			fatalf("smtlint: writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("smtlint: %v", err)
+	}
+	imp := &vetImporter{cfg: &cfg}
+	imp.underlying = importer.ForCompiler(fset, compilerOr(cfg.Compiler), imp.lookup)
+	pkg, terr := load.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if terr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("smtlint: %s: %v", cfg.ImportPath, terr)
+	}
+
+	diags, err := smtlint.Run(pkg)
+	if err != nil {
+		fatalf("smtlint: %s: %v", cfg.ImportPath, err)
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		printDiag(pkg, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+// vetImporter resolves imports through the export-data files the go
+// command hands over: ImportMap canonicalizes the path as written to
+// the path as compiled, PackageFile names the compiled export data.
+type vetImporter struct {
+	cfg        *vetConfig
+	underlying types.Importer
+}
+
+func (v *vetImporter) canonical(path string) string {
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		return mapped
+	}
+	return path
+}
+
+func (v *vetImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := v.cfg.PackageFile[path]
+	if !ok {
+		return nil, &missingExportError{path: path}
+	}
+	return os.Open(file)
+}
+
+type missingExportError struct{ path string }
+
+func (e *missingExportError) Error() string {
+	return "smtlint: no export data for " + e.path + " in vet config"
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	return v.underlying.Import(v.canonical(path))
+}
+
+// contentHash is the digest printVersion feeds into the go command's
+// tool-identity line.
+func contentHash(data []byte) []byte {
+	h := sha256.Sum256(data)
+	return h[:]
+}

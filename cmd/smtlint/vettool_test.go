@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule is the deliberately broken module the lint wiring must
+// reject (see its README).
+const fixtureModule = "../../internal/analysis/testdata/seedviolation"
+
+func buildSmtlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "smtlint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building smtlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runIn(dir string, name string, args ...string) (string, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVettoolProtocol drives the real go vet -vettool path end to end:
+// the -V=full/-flags handshakes, per-package .cfg files, export-data
+// import resolution, and the exit-status contract.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildSmtlint(t)
+
+	out, err := runIn(fixtureModule, "go", "vet", "-vettool="+bin, "./...")
+	if err == nil {
+		t.Fatalf("go vet -vettool on seeded violation succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(out, "nondeterministic iteration over map") ||
+		!strings.Contains(out, "[detlint]") {
+		t.Errorf("seeded-violation output missing detlint diagnostic:\n%s", out)
+	}
+
+	out, err = runIn(fixtureModule, "go", "vet", "-vettool="+bin, "./internal/rob")
+	if err != nil {
+		t.Errorf("go vet -vettool on clean fixture package failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneMode runs the binary directly (no go vet driver): it
+// loads packages itself via the build cache and must reach the same
+// verdicts.
+func TestStandaloneMode(t *testing.T) {
+	bin := buildSmtlint(t)
+
+	out, err := runIn(fixtureModule, bin, "./...")
+	if err == nil {
+		t.Fatalf("standalone smtlint on seeded violation succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(out, "nondeterministic iteration over map") {
+		t.Errorf("standalone output missing detlint diagnostic:\n%s", out)
+	}
+
+	out, err = runIn(fixtureModule, bin, "./internal/rob")
+	if err != nil {
+		t.Errorf("standalone smtlint on clean fixture package failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smtsim/internal/report"
+	"smtsim/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report output")
+
+// goldenOptions is a deliberately tiny configuration: the golden test
+// pins byte-identical output, not paper-quality numbers (the shape
+// targets of -check need realistic budgets; TestReportGolden does not).
+var goldenOptions = sweep.Options{Budget: 2000, Seed: 1}
+
+// TestReportGolden renders the full report at a fixed tiny budget and
+// compares it byte-for-byte against testdata/report_output.txt. The
+// simulator is deterministic by construction (detlint makes whole
+// classes of divergence uncompilable), so any diff here is a behavior
+// change: intended ones are re-blessed with `go test ./cmd/smtreport
+// -run TestReportGolden -update`.
+func TestReportGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full report")
+	}
+	r, err := report.Generate(goldenOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Render()
+
+	golden := filepath.Join("testdata", "report_output.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("report output diverges from golden at line %d:\n got: %q\nwant: %q\n(re-bless intended changes with -update)", i+1, g, w)
+		}
+	}
+	t.Fatal("report output differs from golden in length only")
+}

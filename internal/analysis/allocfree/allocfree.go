@@ -1,0 +1,431 @@
+// Package allocfree implements the hot-path allocation analyzer.
+// Functions annotated //smt:hotpath in their doc comment form the
+// simulator's per-cycle closure (everything Core.Step reaches in steady
+// state); the PR-1 speedup that makes large design-space sweeps
+// tractable depends on that closure allocating nothing once warm.
+//
+// The check is an AST+types heuristic, deliberately conservative about
+// what it flags so annotated code stays idiomatic:
+//
+//   - new(T), make(...), &T{...}, and slice/map composite literals are
+//     definite allocations and are reported.
+//   - append into an existing slice lvalue (x = append(x, ...), or into
+//     a reused scratch/pool buffer) is allowed: growth is amortized into
+//     a retained buffer and reaches zero in steady state, which the
+//     runtime guard (testing.AllocsPerRun over Core.Step) verifies.
+//     append to a freshly produced slice is reported.
+//   - function literals that close over variables are reported (each
+//     evaluation allocates the closure); capture-free literals are
+//     static and allowed. Method-value expressions likewise allocate
+//     and are reported.
+//   - conversions of non-pointer-shaped concrete values to interface
+//     types — explicit or implicit at call, assignment, or return —
+//     box the value and are reported. Pointers, maps, channels, and
+//     funcs are word-sized and box without allocating; constants fold
+//     into static descriptors. Both stay legal.
+//   - string concatenation and string<->[]byte/[]rune conversions are
+//     reported; go statements are reported (a goroutine has no place
+//     inside a simulated cycle).
+//   - anything inside a panic(...) argument is exempt: a panicking
+//     simulator is already dead, and panic messages want fmt.Sprintf.
+//
+// Escape hatch: //smt:allow-alloc on the offending line (or the line
+// above) with a reason — e.g. pool growth on the miss path. The static
+// heuristic and runtime reality are cross-checked by the hotpath
+// coverage test, which requires every annotated function to be covered
+// by a zero-alloc AllocsPerRun guard.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smtsim/internal/analysis/framework"
+)
+
+// Analyzer is the allocfree instance.
+var Analyzer = &framework.Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid allocation, closures, and interface boxing in //smt:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		dirs := framework.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, hot := framework.FuncDirective(fn, "hotpath"); !hot {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: fn}
+			c.collectContext(fn.Body)
+			c.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+	dirs framework.LineDirectives
+	fn   *ast.FuncDecl
+
+	// callFuns holds every expression in callee position, so a method
+	// selector that is immediately called is not mistaken for a
+	// closure-allocating method value.
+	callFuns map[ast.Expr]bool
+	// funcLits holds literal ranges so return statements resolve
+	// against the innermost signature.
+	funcLits []*ast.FuncLit
+}
+
+func (c *checker) collectContext(body ast.Node) {
+	c.callFuns = map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.callFuns[ast.Unparen(n.Fun)] = true
+		case *ast.FuncLit:
+			c.funcLits = append(c.funcLits, n)
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	if c.dirs.Allowed(c.pass.Fset, pos, "allow-alloc") {
+		return
+	}
+	c.pass.Reportf(pos, "//smt:hotpath %s: "+format,
+		append([]interface{}{c.fn.Name.Name}, args...)...)
+}
+
+func (c *checker) walk(root ast.Node) {
+	info := c.pass.TypesInfo
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(info, n) {
+				return false // allocation on a panic path is moot
+			}
+			c.checkCall(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, comp := ast.Unparen(n.X).(*ast.CompositeLit); comp {
+					c.report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.FuncLit:
+			c.checkFuncLit(n)
+		case *ast.SelectorExpr:
+			c.checkMethodValue(n)
+		case *ast.BinaryExpr:
+			c.checkConcat(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement starts a goroutine on the hot path")
+		}
+		return true
+	})
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				c.report(call.Pos(), "new(%s) allocates", exprString(call.Args))
+			case "make":
+				c.report(call.Pos(), "make(%s) allocates", exprString(call.Args))
+			case "append":
+				c.checkAppend(call)
+			}
+			return
+		}
+	}
+
+	// Implicit boxing at call boundaries.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, nothing boxed here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		c.checkBox(arg, pt, "argument")
+	}
+}
+
+// checkAppend allows growth into an existing slice lvalue (the reused
+// scratch/pool idiom whose steady state is allocation-free) and flags
+// appends onto freshly produced slices.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	for {
+		switch b := ast.Unparen(base).(type) {
+		case *ast.SliceExpr:
+			base = b.X
+			continue
+		case *ast.StarExpr:
+			base = b.X
+			continue
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			return // appending into an existing lvalue: amortized, runtime-guarded
+		default:
+			c.report(call.Pos(), "append to a fresh slice allocates every call")
+			return
+		}
+	}
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	src := c.pass.TypesInfo.TypeOf(arg)
+	if src == nil {
+		return
+	}
+	switch tu := target.Underlying().(type) {
+	case *types.Interface:
+		c.checkBox(arg, target, "conversion")
+		return
+	case *types.Slice:
+		if basic, ok := src.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			c.report(call.Pos(), "string-to-slice conversion allocates")
+		}
+	case *types.Basic:
+		if tu.Info()&types.IsString != 0 {
+			if _, ok := src.Underlying().(*types.Slice); ok {
+				c.report(call.Pos(), "slice-to-string conversion allocates")
+			}
+		}
+	}
+}
+
+// checkBox reports expr when assigning it to target performs an
+// allocating interface conversion.
+func (c *checker) checkBox(expr ast.Expr, target types.Type, context string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return // constants fold into static descriptors; nil never boxes
+	}
+	src := tv.Type
+	if types.IsInterface(src) || isPointerShaped(src) {
+		return
+	}
+	if basic, ok := src.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	c.report(expr.Pos(), "%s converts %s to interface %s (boxes on every evaluation)",
+		context, types.TypeString(src, types.RelativeTo(c.pass.Pkg)),
+		types.TypeString(target, types.RelativeTo(c.pass.Pkg)))
+}
+
+// isPointerShaped reports whether values of t fit an interface's data
+// word without allocation.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	}
+	// Struct and array literals used as values live on the stack; the
+	// &lit case is handled at the UnaryExpr.
+}
+
+func (c *checker) checkFuncLit(lit *ast.FuncLit) {
+	info := c.pass.TypesInfo
+	captured := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || captured[v] {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// this literal. Package-level variables are direct references.
+		if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() >= c.fn.Pos() && v.Pos() < c.fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured[v] = true
+			c.report(lit.Pos(), "function literal closes over %s (allocates a closure per evaluation)", v.Name())
+		}
+		return true
+	})
+}
+
+func (c *checker) checkMethodValue(sel *ast.SelectorExpr) {
+	if c.callFuns[sel] {
+		return
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	c.report(sel.Pos(), "method value %s.%s allocates a bound-method closure", exprText(sel.X), sel.Sel.Name)
+}
+
+func (c *checker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[b]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		c.report(b.Pos(), "string concatenation allocates")
+	}
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value form: boxing would happen in the callee's return
+	}
+	for i, rhs := range as.Rhs {
+		c.checkBox(rhs, c.pass.TypesInfo.TypeOf(as.Lhs[i]), "assignment")
+	}
+}
+
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		c.checkBox(vs.Values[i], c.pass.TypesInfo.TypeOf(name), "assignment")
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	sig := c.enclosingSig(ret.Pos())
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	if results.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		c.checkBox(r, results.At(i).Type(), "return")
+	}
+}
+
+// enclosingSig resolves the signature governing a return statement: the
+// innermost function literal containing pos, or the annotated function.
+func (c *checker) enclosingSig(pos token.Pos) *types.Signature {
+	info := c.pass.TypesInfo
+	var best *ast.FuncLit
+	for _, lit := range c.funcLits {
+		if pos >= lit.Pos() && pos < lit.End() {
+			if best == nil || (lit.Pos() >= best.Pos() && lit.End() <= best.End()) {
+				best = lit
+			}
+		}
+	}
+	if best != nil {
+		sig, _ := info.TypeOf(best).(*types.Signature)
+		return sig
+	}
+	if obj, ok := info.Defs[c.fn.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature)
+	}
+	return nil
+}
+
+func exprString(args []ast.Expr) string {
+	if len(args) == 0 {
+		return ""
+	}
+	return exprText(args[0])
+}
+
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.ArrayType:
+		return "[]" + exprText(e.Elt)
+	default:
+		return "..."
+	}
+}

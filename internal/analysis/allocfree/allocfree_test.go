@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/allocfree"
+	"smtsim/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "hotpath")
+}

@@ -1,0 +1,86 @@
+// Package hotpath is an allocfree fixture. The analyzer keys on the
+// //smt:hotpath doc-comment directive, not the package path.
+package hotpath
+
+import "fmt"
+
+// T is a non-pointer-shaped value type, so converting it to an
+// interface boxes.
+type T struct{ x int }
+
+// M makes *T satisfy Iface.
+func (t *T) M() {}
+
+// Iface exercises explicit interface conversions.
+type Iface interface{ M() }
+
+var sink interface{}
+var scratch []int
+
+// Heap exercises the definite-allocation rules.
+//
+//smt:hotpath
+func Heap(n int) {
+	_ = new(T)                   // want `new\(T\) allocates`
+	_ = make([]int, n)           // want `make\(\[\]int\) allocates`
+	_ = &T{x: n}                 // want `&composite literal allocates`
+	_ = []int{n}                 // want `slice literal allocates`
+	_ = map[int]int{n: n}        // want `map literal allocates`
+	_ = T{x: n}                  // value struct literal lives on the stack
+	scratch = append(scratch, n) // existing lvalue: amortized pool growth
+	_ = append([]int(nil), n)    // want `append to a fresh slice allocates`
+}
+
+// Closures exercises the closure and method-value rules.
+//
+//smt:hotpath
+func Closures(t *T, n int) func() int {
+	f := func() int { return n } // want `closes over n`
+	g := func() int { return 0 } // capture-free literals are static
+	_ = g
+	h := t.M // want `method value t.M allocates a bound-method closure`
+	_ = h
+	t.M() // direct method calls do not materialize a method value
+	return f
+}
+
+// Boxing exercises implicit and explicit interface conversions.
+//
+//smt:hotpath
+func Boxing(v T, p *T, i Iface) {
+	sink = v              // want `assignment converts T to interface`
+	sink = p              // pointers are word-sized, no box
+	sink = i              // interface-to-interface, no box
+	sink = 7              // constants fold into static descriptors
+	sink = Iface(p)       // pointer-shaped conversion, no box
+	var x interface{} = v // want `assignment converts T to interface`
+	_ = x
+	_ = fmt.Sprintf("%d", v.x) // want `argument converts int to interface`
+}
+
+// Strings exercises the string-allocation rules.
+//
+//smt:hotpath
+func Strings(a, b string, bs []byte) string {
+	_ = []byte(a)  // want `string-to-slice conversion allocates`
+	_ = string(bs) // want `slice-to-string conversion allocates`
+	return a + b   // want `string concatenation allocates`
+}
+
+// Escapes exercises the panic exemption, the escape hatch, and the go
+// statement rule.
+//
+//smt:hotpath
+func Escapes(n int) {
+	buf := make([]int, n) //smt:allow-alloc — one-time warmup growth
+	_ = buf
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // a panicking simulator is already dead
+	}
+	go func() {}() // want `go statement starts a goroutine on the hot path`
+}
+
+// Cold allocates freely: no //smt:hotpath, no diagnostics.
+func Cold(n int) []int {
+	return append([]int{}, make([]int, n)...)
+}

@@ -1,0 +1,178 @@
+// Package analysistest runs one analyzer over golden source fixtures and
+// compares its diagnostics against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest
+// (which is not vendored here) on the standard library alone.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go, GOPATH-style,
+// so package-path-sensitive analyzers (detlint's cycle-path list,
+// statescope's owner check) see realistic import paths. Imports resolve
+// testdata-first — a fixture may shadow a real repository package with a
+// miniature stand-in — and fall back to the build cache's export data
+// for everything else (stdlib, unshadowed repo packages).
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted pattern must match, in message order is not required, one
+// diagnostic reported on that line; unmatched diagnostics and unmatched
+// expectations both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/load"
+)
+
+// Run applies analyzer a to each fixture package (named by import path
+// under testdata/src) and checks diagnostics against // want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range pkgPaths {
+		pkg, err := l.loadPkg(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		var diags []framework.Diagnostic
+		pass := pkg.Pass(a, func(d framework.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// loader resolves fixture packages testdata-first with a build-cache
+// fallback for everything else.
+type loader struct {
+	fset     *token.FileSet
+	src      string
+	pkgs     map[string]*load.Package
+	fallback *load.GoListImporter
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		src:      filepath.Join(testdata, "src"),
+		pkgs:     map[string]*load.Package{},
+		fallback: load.NewGoListImporter(fset, "."),
+	}
+}
+
+func (l *loader) loadPkg(path string) (*load.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	sort.Strings(filenames)
+	files, err := load.ParseFiles(l.fset, filenames)
+	if err != nil {
+		return nil, err
+	}
+	pkg, terr := load.TypeCheck(l.fset, path, files, l)
+	if terr != nil {
+		return nil, fmt.Errorf("fixture %s does not type-check: %v", path, terr)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: testdata packages shadow the real
+// module; anything else comes from export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.loadPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// expectation is one parsed // want pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func check(t *testing.T, pkg *load.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pat,
+					})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package cyclepure implements the I/O-purity analyzer: functions in
+// cycle-path packages must not perform stream or file I/O. A fmt.Printf
+// in a per-cycle function costs more than the stage it instruments,
+// perturbs benchmark results, and interleaves nondeterministically when
+// sweeps run simulations concurrently — so the cycle path stays pure
+// and all reporting happens from package report/sweep after a run.
+//
+// Pure formatting (fmt.Sprintf, fmt.Errorf) is allowed: building a
+// string or an error performs no I/O. Panic messages are likewise fine.
+//
+// Escape hatch: annotate a genuinely cold function (debug dumps,
+// one-shot setup) with //smt:coldpath in its doc comment.
+package cyclepure
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/policy"
+)
+
+// Analyzer is the cyclepure instance.
+var Analyzer = &framework.Analyzer{
+	Name: "cyclepure",
+	Doc:  "forbid fmt/log/os I/O inside cycle-path packages",
+	Run:  run,
+}
+
+// fmtIO lists the fmt functions that touch a stream. Sprint*/Errorf are
+// pure and stay legal.
+var fmtIO = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Scan": true, "Scanf": true, "Scanln": true,
+	"Fscan": true, "Fscanf": true, "Fscanln": true,
+}
+
+// osIO lists the os functions that open, create, or mutate files, plus
+// process-level escapes.
+var osIO = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Exit": true, "Pipe": true,
+}
+
+// osStreams lists the os package variables naming process streams.
+var osStreams = map[string]bool{"Stdout": true, "Stderr": true, "Stdin": true}
+
+func run(pass *framework.Pass) error {
+	if !policy.IsCyclePath(framework.NormalizePkgPath(pass.Pkg.Path())) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, cold := framework.FuncDirective(fn, "coldpath"); cold {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pass, fn, n)
+				case *ast.SelectorExpr:
+					checkStream(pass, fn, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtin print/println write to stderr.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
+			(b.Name() == "print" || b.Name() == "println") {
+			pass.Reportf(call.Pos(),
+				"builtin %s in cycle-path function %s writes to stderr (annotate //smt:coldpath if this function is off the per-cycle path)",
+				b.Name(), fn.Name.Name)
+			return
+		}
+	}
+	callee := framework.PkgFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	var kind string
+	switch p := callee.Pkg().Path(); {
+	case p == "fmt" && fmtIO[callee.Name()]:
+		kind = "stream I/O"
+	case p == "log" || strings.HasPrefix(p, "log/"):
+		kind = "logging"
+	case p == "os" && osIO[callee.Name()]:
+		kind = "file/process I/O"
+	default:
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s: %s.%s inside cycle-path function %s (report after the run, or annotate //smt:coldpath with a reason)",
+		kind, callee.Pkg().Path(), callee.Name(), fn.Name.Name)
+}
+
+// checkStream flags direct use of os.Stdout/Stderr/Stdin — handing the
+// stream to an io.Writer-taking helper is I/O the call check above
+// cannot see.
+func checkStream(pass *framework.Pass, fn *ast.FuncDecl, sel *ast.SelectorExpr) {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" || !osStreams[v.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"process stream os.%s referenced inside cycle-path function %s (annotate //smt:coldpath if off the per-cycle path)",
+		v.Name(), fn.Name.Name)
+}

@@ -1,0 +1,12 @@
+package cyclepure_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/cyclepure"
+)
+
+func TestCyclepure(t *testing.T) {
+	analysistest.Run(t, "testdata", cyclepure.Analyzer, "smtsim/internal/fetch")
+}

@@ -1,0 +1,29 @@
+// Package fetch is a cyclepure fixture standing in for a cycle-path
+// package.
+package fetch
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// PerCycle performs every kind of I/O the analyzer forbids.
+func PerCycle(n int) error {
+	fmt.Printf("cycle %d\n", n) // want `stream I/O: fmt.Printf inside cycle-path function PerCycle`
+	log.Println(n)              // want `logging: log.Println inside cycle-path function PerCycle`
+	println(n)                  // want `builtin println in cycle-path function PerCycle`
+	fmt.Fprintln(os.Stderr, n)  // want `stream I/O: fmt.Fprintln` `process stream os.Stderr referenced inside cycle-path function PerCycle`
+	if n < 0 {
+		os.Exit(1) // want `file/process I/O: os.Exit inside cycle-path function PerCycle`
+	}
+	return fmt.Errorf("n=%d", n) // pure formatting is legal
+}
+
+// Dump is a debug aid explicitly declared off the per-cycle path.
+//
+//smt:coldpath
+func Dump(n int) {
+	fmt.Println(n)
+	fmt.Fprintln(os.Stdout, n)
+}

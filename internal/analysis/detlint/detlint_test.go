@@ -1,0 +1,15 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, "testdata", detlint.Analyzer,
+		"smtsim/internal/iq",
+		"smtsim/internal/metrics",
+	)
+}

@@ -1,0 +1,50 @@
+// Package iq is a detlint fixture standing in for a cycle-path package.
+package iq
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// MapRanges exercises the map-iteration rules.
+func MapRanges(m map[int]int) int {
+	s := 0
+	for k, v := range m { // want `nondeterministic iteration over map`
+		s += k + v
+	}
+	for k := range m { // want `nondeterministic iteration over map`
+		s += k
+	}
+	for range m { // count-only observation is deterministic
+		s++
+	}
+	keys := make([]int, 0, len(m))
+	//smt:allow-map-range — keys are sorted before use below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, v := range keys { // slice iteration is always fine
+		s += v
+	}
+	return s
+}
+
+// Clocks exercises the wall-clock rules.
+func Clocks() time.Duration {
+	t0 := time.Now()      // want `wall-clock dependence: time.Now`
+	time.Sleep(1)         // want `wall-clock dependence: time.Sleep`
+	return time.Since(t0) // want `wall-clock dependence: time.Since`
+}
+
+// Durations shows that time the *type* is fine; only clock reads are not.
+func Durations(d time.Duration) int64 {
+	return d.Nanoseconds()
+}
+
+// Rands exercises the math/rand rules.
+func Rands() int {
+	r := rand.New(rand.NewSource(1)) // seeded source the caller owns
+	return r.Int() + rand.Int()      // want `process-global math/rand source: math/rand.Int`
+}

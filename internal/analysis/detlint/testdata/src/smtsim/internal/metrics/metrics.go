@@ -1,0 +1,15 @@
+// Package metrics is a detlint fixture for a package off the cycle path:
+// the same constructs draw no diagnostics here.
+package metrics
+
+import "time"
+
+// Summarize ranges over a map and reads the clock, legally: metrics
+// aggregation happens after the simulated run.
+func Summarize(m map[string]float64) (float64, time.Time) {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s, time.Now()
+}

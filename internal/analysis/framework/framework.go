@@ -1,0 +1,194 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the go/analysis Analyzer/Pass model (golang.org/x/tools is not vendored
+// in this repository). An Analyzer inspects one type-checked package and
+// reports diagnostics; drivers — the cmd/smtlint multichecker, the
+// go-vet unitchecker shim, and the analysistest harness — own loading
+// and presentation.
+//
+// The framework also defines the repository's source annotation
+// language: magic comments of the form
+//
+//	//smt:NAME args — free-form reason
+//
+// Function-level directives (//smt:hotpath, //smt:coldpath, //smt:stage)
+// appear in a function's doc comment and change how analyzers treat the
+// whole function. Line-level directives (//smt:allow-alloc,
+// //smt:allow-map-range) are escape hatches: placed on the offending
+// line (trailing comment) or on the line directly above it, they
+// suppress one analyzer's diagnostics for that line and should carry a
+// reason after an em/en dash or "—".
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag names. It
+	// must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description: first sentence is the
+	// summary, the rest explains the invariant the check protects.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Report. A non-nil error aborts the whole run (driver bug or
+	// unusable input — not a finding).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver, not by analyzers.
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The analyzers
+// in this suite check production cycle-path code; tests are covered by
+// the simsan runtime layer instead.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// NormalizePkgPath strips the " [foo.test]" variant suffix the go
+// command appends to import paths of packages recompiled for a test
+// binary, so package-list matching sees the declared import path.
+func NormalizePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// directivePrefix introduces every smtlint source annotation.
+const directivePrefix = "//smt:"
+
+// parseDirective splits one comment into a directive name and its
+// arguments, or reports ok=false for ordinary comments.
+func parseDirective(text string) (name, args string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, args, _ = strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(args), true
+}
+
+// FuncDirective scans fn's doc comment for //smt:name and returns its
+// arguments. ok distinguishes a present-but-bare directive from an
+// absent one.
+func FuncDirective(fn *ast.FuncDecl, name string) (args string, ok bool) {
+	if fn == nil || fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		if n, a, isDir := parseDirective(c.Text); isDir && n == name {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// LineDirectives indexes one file's line-level directives:
+// name -> source line -> arguments.
+type LineDirectives map[string]map[int]string
+
+// FileDirectives collects every //smt: directive in f, keyed by the line
+// the comment itself occupies.
+func FileDirectives(fset *token.FileSet, f *ast.File) LineDirectives {
+	dirs := LineDirectives{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, args, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			byLine := dirs[name]
+			if byLine == nil {
+				byLine = map[int]string{}
+				dirs[name] = byLine
+			}
+			byLine[fset.Position(c.Pos()).Line] = args
+		}
+	}
+	return dirs
+}
+
+// Allowed reports whether a name directive covers the line holding pos:
+// either as a trailing comment on that line or as a comment on the line
+// directly above.
+func (d LineDirectives) Allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	byLine := d[name]
+	if byLine == nil {
+		return false
+	}
+	line := fset.Position(pos).Line
+	_, same := byLine[line]
+	_, above := byLine[line-1]
+	return same || above
+}
+
+// Deref removes all pointer indirections from t.
+func Deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// NamedOf returns the named type of t after stripping pointers, or nil.
+func NamedOf(t types.Type) *types.Named {
+	n, _ := Deref(t).(*types.Named)
+	return n
+}
+
+// PkgFunc resolves a call target to a package-level function (receiver-
+// less) and returns it, or nil when the callee is a method, a builtin,
+// a type conversion, or not resolvable.
+func PkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

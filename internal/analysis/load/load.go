@@ -1,0 +1,240 @@
+// Package load type-checks Go packages for the smtlint analyzers using
+// only the standard library: go/parser + go/types, with compiled export
+// data for imports resolved either from an explicit file map (the go
+// vet unitchecker protocol hands one over) or by querying the go
+// command (`go list -export`), which serves cached export data from the
+// build cache without network access.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"smtsim/internal/analysis/framework"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass builds a framework.Pass over the package for one analyzer,
+// delivering diagnostics to report.
+func (p *Package) Pass(a *framework.Analyzer, report func(framework.Diagnostic)) *framework.Pass {
+	return &framework.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+		Report: func(d framework.Diagnostic) {
+			d.Analyzer = a.Name
+			report(d)
+		},
+	}
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// ParseFiles parses the named files (which must belong to one package)
+// with comments retained — the analyzers read //smt: directives.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck checks one package's parsed files against imp. Soft type
+// errors are collected rather than fatal so analysis can proceed on a
+// best-effort basis; the first error is returned alongside the package.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, firstErr
+}
+
+// GoListImporter resolves imports through the go command's build cache:
+// `go list -export` compiles (or reuses) a package and reports the file
+// holding its export data, which the gc importer then reads. Lookups
+// are batched with -deps and memoized, so a whole-module load costs one
+// go list invocation.
+type GoListImporter struct {
+	fset *token.FileSet
+	dir  string
+
+	mu      sync.Mutex
+	exports map[string]string
+
+	underlying types.Importer
+}
+
+// NewGoListImporter builds an importer rooted at dir (any directory
+// inside the module whose import paths should resolve).
+func NewGoListImporter(fset *token.FileSet, dir string) *GoListImporter {
+	g := &GoListImporter{fset: fset, dir: dir, exports: map[string]string{}}
+	g.underlying = importer.ForCompiler(fset, "gc", g.lookup)
+	return g
+}
+
+// listEntry is the subset of `go list -json` output the loader uses.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Name       string
+}
+
+// goList runs `go list -export -json` over patterns and returns the
+// decoded entries.
+func goList(dir string, extraArgs []string, patterns ...string) ([]listEntry, error) {
+	args := append([]string{"list", "-e", "-export", "-json"}, extraArgs...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Preload batch-resolves patterns (and their dependency closure) so
+// later Import calls hit the memo table.
+func (g *GoListImporter) Preload(patterns ...string) error {
+	entries, err := goList(g.dir, []string{"-deps"}, patterns...)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range entries {
+		if e.Export != "" {
+			g.exports[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}
+
+func (g *GoListImporter) lookup(path string) (io.ReadCloser, error) {
+	g.mu.Lock()
+	file := g.exports[path]
+	g.mu.Unlock()
+	if file == "" {
+		if err := g.Preload(path); err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		file = g.exports[path]
+		g.mu.Unlock()
+	}
+	if file == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer.
+func (g *GoListImporter) Import(path string) (*types.Package, error) {
+	return g.underlying.Import(path)
+}
+
+// LoadPatterns loads the packages matching the go package patterns
+// (e.g. "./...") rooted at dir, type-checked from source with their
+// dependencies resolved from export data. Dependencies named by the
+// patterns' closure are loaded for import resolution only; the returned
+// slice holds just the matched packages, in go list order. Each
+// package's first type error, if any, is reported through onTypeError
+// rather than aborting the load.
+func LoadPatterns(dir string, onTypeError func(path string, err error), patterns ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	g := NewGoListImporter(fset, dir)
+	entries, err := goList(dir, []string{"-deps"}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	for _, e := range entries {
+		if e.Export != "" {
+			g.exports[e.ImportPath] = e.Export
+		}
+	}
+	g.mu.Unlock()
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		filenames := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			filenames[i] = filepath.Join(e.Dir, f)
+		}
+		files, err := ParseFiles(fset, filenames)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", e.ImportPath, err)
+		}
+		pkg, terr := TypeCheck(fset, e.ImportPath, files, g)
+		if terr != nil && onTypeError != nil {
+			onTypeError(e.ImportPath, terr)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,71 @@
+// Package policy declares which packages the smtlint analyzers guard
+// and how. It is the single place the repository's static-discipline
+// boundaries are written down; the analyzers consume it, DESIGN.md §7
+// documents it.
+package policy
+
+// CyclePath lists the packages whose code runs inside the simulated
+// cycle loop. Determinism (detlint) and I/O purity (cyclepure) are
+// enforced here: these packages produce the bit-identical replays the
+// differential tests and the paper's comparisons depend on.
+var CyclePath = []string{
+	"smtsim/internal/core",
+	"smtsim/internal/pipeline",
+	"smtsim/internal/iq",
+	"smtsim/internal/rob",
+	"smtsim/internal/regfile",
+	"smtsim/internal/rename",
+	"smtsim/internal/lsq",
+	"smtsim/internal/fetch",
+	"smtsim/internal/fu",
+	"smtsim/internal/cache",
+	"smtsim/internal/bpred",
+}
+
+// IsCyclePath reports whether a (normalized) import path is on the
+// cycle path.
+func IsCyclePath(path string) bool {
+	for _, p := range CyclePath {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ProtectedState describes one package whose architectural state is
+// location-exclusive: its struct fields may be mutated only from inside
+// the owning package, or from a function that declares itself a pipeline
+// stage for that package with //smt:stage. simsan re-derives the same
+// exclusivity dynamically each cycle; statescope proves it statically.
+type ProtectedState struct {
+	// Pkg is the owning package's import path.
+	Pkg string
+	// Types restricts protection to the named types; empty protects
+	// every type the package declares.
+	Types []string
+}
+
+// Protected lists the location-exclusive architectural state.
+var Protected = []ProtectedState{
+	{Pkg: "smtsim/internal/rob"},
+	{Pkg: "smtsim/internal/iq"},
+	{Pkg: "smtsim/internal/regfile"},
+	{Pkg: "smtsim/internal/lsq"},
+	// Package core also holds dispatch bookkeeping that is not
+	// architectural state; only the deadlock-avoidance buffer and the
+	// watchdog carry location-exclusive state.
+	{Pkg: "smtsim/internal/core", Types: []string{"DAB", "Watchdog"}},
+}
+
+// ProtectedTypes returns the type filter for a protected package and
+// whether the package is protected at all. A nil filter with ok=true
+// means every type is protected.
+func ProtectedTypes(pkg string) (typeNames []string, ok bool) {
+	for _, p := range Protected {
+		if p.Pkg == pkg {
+			return p.Types, true
+		}
+	}
+	return nil, false
+}

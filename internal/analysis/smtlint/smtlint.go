@@ -1,0 +1,38 @@
+// Package smtlint aggregates the repository's analyzer suite. The
+// cmd/smtlint binary (standalone or as a go vet -vettool) and the
+// in-repo self-check test both run exactly this list, so "the tree is
+// lint-clean" means the same thing everywhere.
+package smtlint
+
+import (
+	"sort"
+
+	"smtsim/internal/analysis/allocfree"
+	"smtsim/internal/analysis/cyclepure"
+	"smtsim/internal/analysis/detlint"
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/load"
+	"smtsim/internal/analysis/statescope"
+)
+
+// Analyzers is the suite, in reporting order.
+var Analyzers = []*framework.Analyzer{
+	detlint.Analyzer,
+	allocfree.Analyzer,
+	statescope.Analyzer,
+	cyclepure.Analyzer,
+}
+
+// Run applies the whole suite to one loaded package and returns its
+// diagnostics sorted by position.
+func Run(pkg *load.Package) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	for _, a := range Analyzers {
+		pass := pkg.Pass(a, func(d framework.Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			return diags, err
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

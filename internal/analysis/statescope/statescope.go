@@ -1,0 +1,173 @@
+// Package statescope implements the location-exclusivity analyzer:
+// architectural state owned by the reorder buffers, issue queue,
+// physical register file, load/store queues, and the deadlock-avoidance
+// buffer (policy.Protected) may be mutated only by its owning package,
+// or by a function that declares itself a pipeline stage for that
+// package with //smt:stage in its doc comment:
+//
+//	//smt:stage rob,regfile — commit retires into both structures
+//
+// Arguments name the protected packages the stage may touch, by import
+// path or final path element, comma- or space-separated.
+//
+// The rule statically enforces what simsan's location-exclusivity sweep
+// re-derives dynamically every cycle: each in-flight instruction's
+// structural state has exactly one writer. Reads are always free;
+// mutation goes through the owner's methods, so the owner's invariants
+// (occupancy accounting, back-indices, free-list conservation) cannot
+// be bypassed from a distance. Test files are exempt — tests corrupt
+// state on purpose and simsan watches them at runtime.
+package statescope
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/policy"
+)
+
+// Analyzer is the statescope instance.
+var Analyzer = &framework.Analyzer{
+	Name: "statescope",
+	Doc:  "restrict mutation of protected architectural state to its owning package or declared stage methods",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	self := framework.NormalizePkgPath(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			grants := stageGrants(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkWrite(pass, self, fn, grants, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, self, fn, grants, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// stageGrants parses //smt:stage into the set of protected packages the
+// function may mutate, keyed by both full import path and final element.
+func stageGrants(fn *ast.FuncDecl) map[string]bool {
+	args, ok := framework.FuncDirective(fn, "stage")
+	if !ok {
+		return nil
+	}
+	grants := map[string]bool{}
+	for _, f := range strings.FieldsFunc(args, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if f == "—" || f == "-" {
+			break // reason text follows
+		}
+		grants[f] = true
+	}
+	return grants
+}
+
+func checkWrite(pass *framework.Pass, self string, fn *ast.FuncDecl, grants map[string]bool, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	// A write through an index expression mutates the container named by
+	// its base: q.entries[i] = u is a write to the entries field.
+	for {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			lhs = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+
+	// Package-level variable of a protected package (pkg.Var = x).
+	if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && !v.IsField() {
+		if v.Pkg() != nil && isProtectedVar(v) {
+			owner := v.Pkg().Path()
+			if owner != self && !granted(grants, owner) {
+				pass.Reportf(sel.Pos(),
+					"write to %s.%s from package %s: protected state is mutated only by its owner or a //smt:stage function",
+					owner, v.Name(), self)
+			}
+		}
+		return
+	}
+
+	// Field write: resolve the field's declaring package and the
+	// receiver's named type for the type filter.
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return
+	}
+	owner := field.Pkg().Path()
+	if owner == self {
+		return
+	}
+	typeFilter, protected := policy.ProtectedTypes(owner)
+	if !protected {
+		return
+	}
+	named := framework.NamedOf(s.Recv())
+	if len(typeFilter) > 0 {
+		if named == nil || !contains(typeFilter, named.Obj().Name()) {
+			return
+		}
+	}
+	if granted(grants, owner) {
+		return
+	}
+	typeName := owner
+	if named != nil {
+		typeName = owner + "." + named.Obj().Name()
+	}
+	pass.Reportf(sel.Pos(),
+		"write to field %s of protected type %s from package %s: mutate through the owner's methods or declare //smt:stage %s",
+		field.Name(), typeName, self, lastElem(owner))
+}
+
+// isProtectedVar reports whether v is a package-level variable of a
+// protected package (the type filter does not apply to variables).
+func isProtectedVar(v *types.Var) bool {
+	_, ok := policy.ProtectedTypes(v.Pkg().Path())
+	return ok && v.Parent() == v.Pkg().Scope()
+}
+
+func granted(grants map[string]bool, owner string) bool {
+	return grants[owner] || grants[lastElem(owner)]
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package statescope_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/statescope"
+)
+
+func TestStatescope(t *testing.T) {
+	analysistest.Run(t, "testdata", statescope.Analyzer,
+		"smtsim/internal/rob",
+		"smtsim/internal/pipeline",
+	)
+}

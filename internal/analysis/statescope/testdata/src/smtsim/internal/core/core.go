@@ -1,0 +1,12 @@
+// Package core is a statescope fixture standing in for the real core
+// package, whose protection is filtered to the DAB and Watchdog types.
+package core
+
+// DAB is protected architectural state.
+type DAB struct{ Inserts uint64 }
+
+// Watchdog is protected architectural state.
+type Watchdog struct{ Expiries uint64 }
+
+// Stats is ordinary bookkeeping outside the type filter.
+type Stats struct{ Cycles int }

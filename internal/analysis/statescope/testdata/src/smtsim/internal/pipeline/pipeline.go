@@ -1,0 +1,38 @@
+// Package pipeline is the statescope fixture for cross-package writes.
+package pipeline
+
+import (
+	"smtsim/internal/core"
+	"smtsim/internal/rob"
+)
+
+// Bad mutates protected state from outside the owner with no stage grant.
+func Bad(r *rob.ROB, w *core.Watchdog, s *core.Stats) int {
+	r.Size = 3     // want `write to field Size of protected type smtsim/internal/rob.ROB`
+	r.Size++       // want `write to field Size of protected type smtsim/internal/rob.ROB`
+	r.Buf[0] = 1   // want `write to field Buf of protected type smtsim/internal/rob.ROB`
+	rob.Debug = 1  // want `write to smtsim/internal/rob.Debug`
+	w.Expiries = 0 // want `write to field Expiries of protected type smtsim/internal/core.Watchdog`
+	s.Cycles = 0   // Stats is outside core's DAB/Watchdog type filter
+	local := rob.ROB{}
+	_ = local
+	return r.Size // reads are always free
+}
+
+// Commit retires into the ROB and resets the watchdog, as a declared
+// stage for both owners.
+//
+//smt:stage rob,core — commit is the retirement stage for both structures
+func Commit(r *rob.ROB, w *core.Watchdog) {
+	r.Size--
+	w.Expiries++
+	rob.Debug = 0
+}
+
+// PartialGrant holds a grant for rob only; core writes still flag.
+//
+//smt:stage rob — adjusts occupancy only
+func PartialGrant(r *rob.ROB, d *core.DAB) {
+	r.Size = 0
+	d.Inserts = 0 // want `write to field Inserts of protected type smtsim/internal/core.DAB`
+}

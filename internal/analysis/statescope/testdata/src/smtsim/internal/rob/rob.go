@@ -1,0 +1,18 @@
+// Package rob is a statescope fixture standing in for the real reorder
+// buffer: every type it declares is protected (no type filter).
+package rob
+
+// ROB is protected architectural state.
+type ROB struct {
+	Size int
+	Buf  []int
+}
+
+// Debug is a protected package-level variable.
+var Debug int
+
+// Grow mutates from the owning package, which is always legal.
+func (r *ROB) Grow() {
+	r.Size++
+	Debug = r.Size
+}

@@ -1,0 +1,3 @@
+module smtsim
+
+go 1.22

@@ -1,0 +1,12 @@
+// Package iq carries the deliberately seeded determinism violation: the
+// import path matches a cycle-path package, and Sum iterates a map.
+package iq
+
+// Sum observes map iteration order, which Go randomizes per run.
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s = s*31 + v
+	}
+	return s
+}

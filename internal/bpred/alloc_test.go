@@ -1,0 +1,18 @@
+package bpred
+
+import "testing"
+
+// TestPredictZeroAllocs is the runtime counterpart of the //smt:hotpath
+// annotations in this package (see the hotpath manifest in
+// internal/analysis/smtlint): predict and resolve must not allocate.
+func TestPredictZeroAllocs(t *testing.T) {
+	p := NewWithGshare(NewGshare(4096, 12), NewBTB(512, 4))
+	pc := uint64(0x1000)
+	if avg := testing.AllocsPerRun(10_000, func() {
+		taken, target := p.Predict(pc)
+		p.Resolve(pc, taken, target, pc%3 == 0, pc+8)
+		pc += 4
+	}); avg != 0 {
+		t.Errorf("predict/resolve allocates %v objects/op, want 0", avg)
+	}
+}

@@ -10,8 +10,10 @@ package bpred
 // counter is a 2-bit saturating counter; values >= 2 predict taken.
 type counter uint8
 
+//smt:hotpath
 func (c counter) taken() bool { return c >= 2 }
 
+//smt:hotpath
 func (c counter) update(taken bool) counter {
 	if taken {
 		if c < 3 {
@@ -52,11 +54,14 @@ func NewGshare(entries int, historyBits uint) *Gshare {
 	return g
 }
 
+//smt:hotpath
 func (g *Gshare) index(pc uint64) uint32 {
 	return (uint32(pc>>2) ^ g.history) & g.mask
 }
 
 // Predict returns the predicted direction for the branch at pc.
+//
+//smt:hotpath
 func (g *Gshare) Predict(pc uint64) bool {
 	return g.pht[g.index(pc)].taken()
 }
@@ -64,6 +69,8 @@ func (g *Gshare) Predict(pc uint64) bool {
 // Update trains the predictor with the actual outcome and shifts it into
 // the global history. Callers must invoke Update exactly once per
 // predicted branch, in program order.
+//
+//smt:hotpath
 func (g *Gshare) Update(pc uint64, taken bool) {
 	i := g.index(pc)
 	g.pht[i] = g.pht[i].update(taken)
@@ -109,12 +116,15 @@ func NewBTB(entries, ways int) *BTB {
 	return b
 }
 
+//smt:hotpath
 func (b *BTB) set(pc uint64) ([]btbEntry, uint64) {
 	idx := (pc >> 2) & b.setMask
 	return b.sets[idx], pc >> 2 / (b.setMask + 1)
 }
 
 // Lookup returns the stored target for pc, if present.
+//
+//smt:hotpath
 func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 	b.tick++
 	set, tag := b.set(pc)
@@ -128,6 +138,8 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 }
 
 // Insert records pc -> target, evicting the LRU way on conflict.
+//
+//smt:hotpath
 func (b *BTB) Insert(pc, target uint64) {
 	b.tick++
 	set, tag := b.set(pc)
@@ -177,6 +189,8 @@ func NewWithGshare(g *Gshare, btb *BTB) *Predictor {
 // pc. If the direction is taken but the BTB misses, the front end cannot
 // redirect and the prediction degrades to not-taken (fall-through), which
 // is how a real fetch unit behaves.
+//
+//smt:hotpath
 func (p *Predictor) Predict(pc uint64) (taken bool, target uint64) {
 	taken = p.dir.Predict(pc)
 	if !taken {
@@ -192,6 +206,8 @@ func (p *Predictor) Predict(pc uint64) (taken bool, target uint64) {
 
 // Resolve trains direction and target state with the actual outcome and
 // reports whether the original prediction was correct.
+//
+//smt:hotpath
 func (p *Predictor) Resolve(pc uint64, predictedTaken bool, predictedTarget uint64, actualTaken bool, actualTarget uint64) (correct bool) {
 	p.Branches++
 	correct = predictedTaken == actualTaken && (!actualTaken || predictedTarget == actualTarget)

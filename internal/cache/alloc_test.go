@@ -1,0 +1,19 @@
+package cache
+
+import "testing"
+
+// TestAccessZeroAllocs is the runtime counterpart of the //smt:hotpath
+// annotations in this package (see the hotpath manifest in
+// internal/analysis/smtlint): the access paths must not allocate.
+func TestAccessZeroAllocs(t *testing.T) {
+	h := DefaultHierarchy()
+	addr := uint64(0)
+	if avg := testing.AllocsPerRun(10_000, func() {
+		h.LoadLatencyExtra(addr)
+		h.StoreCommit(addr + 64)
+		h.FetchLatencyExtra(addr * 3)
+		addr += 4096 // mix hits and misses, forcing evictions
+	}); avg != 0 {
+		t.Errorf("cache access paths allocate %v objects/op, want 0", avg)
+	}
+}

@@ -97,6 +97,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // for measurement after a warmup period.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+//smt:hotpath
 func (c *Cache) locate(addr uint64) ([]line, uint64) {
 	set := (addr >> c.offBits) & c.setMask
 	tag := addr >> c.offBits >> uint(popcount(c.setMask))
@@ -106,6 +107,8 @@ func (c *Cache) locate(addr uint64) ([]line, uint64) {
 // Access performs a read or write probe. It returns hit, and whether a
 // dirty line was evicted to make room (the caller charges the writeback to
 // the next level). On miss the line is allocated (write-allocate).
+//
+//smt:hotpath
 func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool) {
 	c.tick++
 	c.stats.Accesses++
@@ -182,6 +185,8 @@ func DefaultHierarchy() *Hierarchy {
 }
 
 // access runs the two-level protocol below one L1.
+//
+//smt:hotpath
 func (h *Hierarchy) access(l1 *Cache, addr uint64, write bool) int {
 	hit, wb := l1.Access(addr, write)
 	if hit {
@@ -204,6 +209,8 @@ func (h *Hierarchy) access(l1 *Cache, addr uint64, write bool) int {
 
 // LoadLatencyExtra returns the cycles beyond the L1 pipeline latency a
 // data load at addr costs (0 for an L1 hit).
+//
+//smt:hotpath
 func (h *Hierarchy) LoadLatencyExtra(addr uint64) int {
 	return h.access(h.L1D, addr, false)
 }
@@ -211,12 +218,16 @@ func (h *Hierarchy) LoadLatencyExtra(addr uint64) int {
 // StoreCommit retires a store's data into the hierarchy at commit time.
 // Stores are not on the critical path (the LSQ buffers them), but they
 // keep cache state warm and cause allocations/writebacks.
+//
+//smt:hotpath
 func (h *Hierarchy) StoreCommit(addr uint64) {
 	h.access(h.L1D, addr, true)
 }
 
 // FetchLatencyExtra returns the cycles beyond the base fetch latency an
 // instruction fetch at pc costs (0 for an L1I hit).
+//
+//smt:hotpath
 func (h *Hierarchy) FetchLatencyExtra(pc uint64) int {
 	return h.access(h.L1I, pc, false)
 }

@@ -25,12 +25,18 @@ func NewBuffer(capacity int) *Buffer {
 func (b *Buffer) Cap() int { return len(b.buf) }
 
 // Len returns the number of buffered instructions.
+//
+//smt:hotpath
 func (b *Buffer) Len() int { return b.size }
 
 // CanPush reports whether one more instruction fits.
+//
+//smt:hotpath
 func (b *Buffer) CanPush() bool { return b.size < len(b.buf) }
 
 // Push appends a renamed instruction in program order.
+//
+//smt:hotpath
 func (b *Buffer) Push(u *uop.UOp) {
 	if b.size == len(b.buf) {
 		panic("core: dispatch buffer overflow")
@@ -40,6 +46,8 @@ func (b *Buffer) Push(u *uop.UOp) {
 }
 
 // At returns the i-th oldest buffered instruction (0 = oldest).
+//
+//smt:hotpath
 func (b *Buffer) At(i int) *uop.UOp {
 	if i < 0 || i >= b.size {
 		panic("core: buffer index out of range")
@@ -51,6 +59,8 @@ func (b *Buffer) At(i int) *uop.UOp {
 // the rest. i==0 is the common in-order case and is O(1); out-of-order
 // removal shifts at most Cap-1 pointers, which is trivial at the buffer
 // sizes involved (tens of entries).
+//
+//smt:hotpath
 func (b *Buffer) RemoveAt(i int) *uop.UOp {
 	u := b.At(i)
 	if i == 0 {

@@ -35,12 +35,18 @@ func NewDAB(capacity int) *DAB {
 func (d *DAB) Cap() int { return d.cap }
 
 // Len returns the number of waiting instructions.
+//
+//smt:hotpath
 func (d *DAB) Len() int { return len(d.entries) }
 
 // CanInsert reports whether a free slot exists.
+//
+//smt:hotpath
 func (d *DAB) CanInsert() bool { return len(d.entries) < d.cap }
 
 // Insert captures a ROB-oldest instruction.
+//
+//smt:hotpath
 func (d *DAB) Insert(u *uop.UOp) {
 	if !d.CanInsert() {
 		panic("core: DAB overflow")
@@ -52,9 +58,13 @@ func (d *DAB) Insert(u *uop.UOp) {
 
 // Entries returns the current occupants oldest-insertion-first. The
 // returned slice is the internal storage; callers must not mutate it.
+//
+//smt:hotpath
 func (d *DAB) Entries() []*uop.UOp { return d.entries }
 
 // Remove extracts u at issue (or squash).
+//
+//smt:hotpath
 func (d *DAB) Remove(u *uop.UOp) {
 	for i, e := range d.entries {
 		if e == u {
@@ -106,6 +116,8 @@ func NewWatchdog(limit int64) *Watchdog {
 // Tick advances one cycle. dispatched reports whether any instruction was
 // dispatched this cycle (which resets the counter). Tick returns true
 // when the watchdog expires; the counter is then reset for the next epoch.
+//
+//smt:hotpath
 func (w *Watchdog) Tick(dispatched bool) bool {
 	if dispatched {
 		w.remaining = w.limit
@@ -122,3 +134,8 @@ func (w *Watchdog) Tick(dispatched bool) bool {
 
 // Limit returns the configured countdown start value.
 func (w *Watchdog) Limit() int64 { return w.limit }
+
+// ResetStats clears the expiry counter without disturbing the running
+// countdown, for measurement after a warmup period. (statescope: the
+// counter is this package's state; callers must not zero it directly.)
+func (w *Watchdog) ResetStats() { w.Expiries = 0 }

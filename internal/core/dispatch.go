@@ -117,6 +117,8 @@ func NewDispatcher(policy Policy, width, bufCap, threads int) *Dispatcher {
 func (d *Dispatcher) SetEventWakeup(on bool) { d.eventWakeup = on }
 
 // srcNotReady returns u's non-ready source count under the active mode.
+//
+//smt:hotpath
 func (d *Dispatcher) srcNotReady(u *uop.UOp, rf *regfile.File) int {
 	if d.eventWakeup {
 		return int(u.NotReady)
@@ -141,6 +143,8 @@ func (d *Dispatcher) SetDABEnabled(on bool) { d.useDAB = on }
 func (d *Dispatcher) SetPerThreadCap(cap int) { d.perThreadCap = cap }
 
 // atCap reports whether thread t has exhausted its queue share.
+//
+//smt:hotpath
 func (d *Dispatcher) atCap(t int, q *iq.Queue) bool {
 	return d.perThreadCap > 0 && q.ThreadCount(t) >= d.perThreadCap
 }
@@ -171,6 +175,8 @@ const (
 // the thread buffers into the IQ (or the DAB). The scan order across
 // threads rotates every cycle for fairness. Returns the number
 // dispatched.
+//
+//smt:hotpath
 func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob.ROB) int {
 	budget := d.width
 	dispatched := 0
@@ -236,6 +242,8 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 
 // runThread dispatches from one thread's buffer within the remaining
 // budget, returning how many instructions moved and, when zero, why.
+//
+//smt:hotpath
 func (d *Dispatcher) runThread(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
 	if d.policy.OutOfOrder() {
 		return d.runThreadOOO(cycle, t, q, rf, r, budget)
@@ -243,6 +251,7 @@ func (d *Dispatcher) runThread(cycle int64, t int, q *iq.Queue, rf *regfile.File
 	return d.runThreadInOrder(cycle, t, q, rf, r, budget)
 }
 
+//smt:hotpath
 func (d *Dispatcher) runThreadInOrder(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
 	buf := d.bufs[t]
 	moved := 0
@@ -285,6 +294,7 @@ func (d *Dispatcher) runThreadInOrder(cycle int64, t int, q *iq.Queue, rf *regfi
 	return moved, reason
 }
 
+//smt:hotpath
 func (d *Dispatcher) runThreadOOO(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
 	buf := d.bufs[t]
 	moved := 0
@@ -371,6 +381,8 @@ scan:
 
 // markNDI records that u is blocked as an NDI this cycle and taints its
 // destination so dependents can be recognized.
+//
+//smt:hotpath
 func (d *Dispatcher) markNDI(t int, u *uop.UOp) {
 	if !u.WasNDI {
 		u.WasNDI = true
@@ -384,6 +396,8 @@ func (d *Dispatcher) markNDI(t int, u *uop.UOp) {
 // samplePiled samples the instructions queued behind the thread's oldest
 // NDI for the HDI-fraction statistic. Callers invoke it at most once per
 // thread per cycle, when the buffer head is an NDI.
+//
+//smt:hotpath
 func (d *Dispatcher) samplePiled(t int, rf *regfile.File) {
 	buf := d.bufs[t]
 	for j := 1; j < buf.Len(); j++ {
@@ -397,6 +411,8 @@ func (d *Dispatcher) samplePiled(t int, rf *regfile.File) {
 // dependsOnNDI reports whether any of u's sources is currently tainted —
 // produced by a blocked NDI or by an instruction transitively dependent
 // on one.
+//
+//smt:hotpath
 func (d *Dispatcher) dependsOnNDI(t int, u *uop.UOp) bool {
 	for _, s := range u.Srcs {
 		if s.Valid() && d.taint[t][s] {
@@ -407,6 +423,8 @@ func (d *Dispatcher) dependsOnNDI(t int, u *uop.UOp) bool {
 }
 
 // commitDispatch finalizes a dispatch into the IQ.
+//
+//smt:hotpath
 func (d *Dispatcher) commitDispatch(cycle int64, t int, u *uop.UOp, nonReady int, q *iq.Queue, rf *regfile.File, outOfOrder bool) {
 	u.DispatchedAt = cycle
 	u.NonReadyAtDispatch = nonReady
@@ -428,6 +446,8 @@ func (d *Dispatcher) commitDispatch(cycle int64, t int, u *uop.UOp, nonReady int
 }
 
 // dispatchToDAB finalizes a capture into the deadlock-avoidance buffer.
+//
+//smt:hotpath
 func (d *Dispatcher) dispatchToDAB(cycle int64, t int, u *uop.UOp, outOfOrder bool) {
 	u.DispatchedAt = cycle
 	u.NonReadyAtDispatch = 0
@@ -444,6 +464,8 @@ func (d *Dispatcher) dispatchToDAB(cycle int64, t int, u *uop.UOp, outOfOrder bo
 // OnComplete clears dependence taint for a finished producer: once the
 // value exists, younger readers no longer "depend on an NDI" in the sense
 // of the paper's statistic.
+//
+//smt:hotpath
 func (d *Dispatcher) OnComplete(u *uop.UOp) {
 	if u.Dest.Valid() {
 		delete(d.taint[u.Thread], u.Dest)

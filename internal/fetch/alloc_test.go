@@ -1,0 +1,21 @@
+package fetch
+
+import "testing"
+
+// TestOrderZeroAllocs is the runtime counterpart of the //smt:hotpath
+// annotation on Selector.Order (see the hotpath manifest in
+// internal/analysis/smtlint): per-cycle thread selection must not
+// allocate under either policy.
+func TestOrderZeroAllocs(t *testing.T) {
+	counts := []int{3, 1, 4, 1}
+	runnable := func(t int) bool { return t != 2 }
+	icount := func(t int) int { return counts[t] }
+	for _, policy := range []Policy{ICount, RoundRobin} {
+		s := NewSelector(policy, 4)
+		if avg := testing.AllocsPerRun(10_000, func() {
+			s.Order(runnable, icount)
+		}); avg != 0 {
+			t.Errorf("%s Order allocates %v objects/op, want 0", policy, avg)
+		}
+	}
+}

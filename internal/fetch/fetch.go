@@ -63,6 +63,8 @@ func NewSelector(policy Policy, threads int) *Selector {
 // runnable reports whether a thread can fetch this cycle; icount supplies
 // each thread's in-flight front-end + IQ instruction count. The returned
 // slice is reused across calls.
+//
+//smt:hotpath
 func (s *Selector) Order(runnable func(t int) bool, icount func(t int) int) []int {
 	s.order = s.order[:0]
 	switch s.policy {

@@ -1,0 +1,23 @@
+package fu
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+)
+
+// TestTryIssueZeroAllocs is the runtime counterpart of the //smt:hotpath
+// annotations in this package (see the hotpath manifest in
+// internal/analysis/smtlint): unit reservation must not allocate.
+func TestTryIssueZeroAllocs(t *testing.T) {
+	ps := MustNew(DefaultConfig())
+	cycle := int64(0)
+	if avg := testing.AllocsPerRun(10_000, func() {
+		ps.TryIssue(isa.IntAlu, cycle)
+		ps.TryIssue(isa.Load, cycle)
+		ps.TryIssue(isa.FpDiv, cycle) // exercises the busy-for-interval path
+		cycle++
+	}); avg != 0 {
+		t.Errorf("TryIssue allocates %v objects/op, want 0", avg)
+	}
+}

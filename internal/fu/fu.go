@@ -25,6 +25,8 @@ func newPool(name string, n int) *Pool {
 }
 
 // tryReserve finds a unit free at cycle and occupies it for busy cycles.
+//
+//smt:hotpath
 func (p *Pool) tryReserve(cycle int64, busy int) bool {
 	for i := range p.freeAt {
 		if p.freeAt[i] <= cycle {
@@ -90,13 +92,19 @@ type Pools struct {
 
 // New builds the pools from cfg.
 func New(cfg Config) (*Pools, error) {
-	counts := map[string]int{
-		"int-alu": cfg.IntAlu, "int-mult": cfg.IntMult, "mem": cfg.Mem,
-		"fp-add": cfg.FpAdd, "fp-mult": cfg.FpMult,
+	// Validation walks an ordered slice so the same invalid Config
+	// always yields the same error (a map literal here made the winning
+	// diagnostic iteration-order dependent — found by detlint).
+	counts := []struct {
+		name string
+		n    int
+	}{
+		{"int-alu", cfg.IntAlu}, {"int-mult", cfg.IntMult}, {"mem", cfg.Mem},
+		{"fp-add", cfg.FpAdd}, {"fp-mult", cfg.FpMult},
 	}
-	for name, n := range counts {
-		if n <= 0 {
-			return nil, fmt.Errorf("fu: pool %s must have at least one unit, got %d", name, n)
+	for _, c := range counts {
+		if c.n <= 0 {
+			return nil, fmt.Errorf("fu: pool %s must have at least one unit, got %d", c.name, c.n)
 		}
 	}
 	return &Pools{pools: [numPools]*Pool{
@@ -120,6 +128,8 @@ func MustNew(cfg Config) *Pools {
 // TryIssue attempts to reserve a unit for an operation of the given class
 // starting at cycle. It returns false when every unit in the class's pool
 // is busy (structural hazard); the instruction then retries next cycle.
+//
+//smt:hotpath
 func (ps *Pools) TryIssue(class isa.OpClass, cycle int64) bool {
 	return ps.pools[poolOf[class]].tryReserve(cycle, isa.IssueInterval[class])
 }

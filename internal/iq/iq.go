@@ -120,6 +120,8 @@ func (q *Queue) EventWakeup() bool { return q.event }
 
 // srcNotReady returns u's non-ready source count under the active mode:
 // the event-maintained counter, or a register-file poll.
+//
+//smt:hotpath
 func (q *Queue) srcNotReady(u *uop.UOp, rf *regfile.File) int {
 	if q.event {
 		return int(u.NotReady)
@@ -153,6 +155,8 @@ func (q *Queue) MaxNonReady() int {
 // not) with at least n comparators: an instruction with n non-ready
 // sources can never dispatch into a queue that does not support its
 // class — the static NDI condition of the 2OP designs.
+//
+//smt:hotpath
 func (q *Queue) ClassSupported(n int) bool {
 	for k := n; k < NumClasses; k++ {
 		if q.part[k] > 0 {
@@ -165,6 +169,8 @@ func (q *Queue) ClassSupported(n int) bool {
 // CanAccept reports whether a free entry with at least n comparators
 // exists right now — the paper's Dispatchable Instruction condition
 // ("an appropriate IQ entry is also available").
+//
+//smt:hotpath
 func (q *Queue) CanAccept(n int) bool {
 	if n < 0 {
 		n = 0
@@ -182,12 +188,16 @@ func (q *Queue) ClassUsed(k int) int { return q.used[k] }
 
 // ThreadCount returns the occupancy attributed to thread t (feeds the
 // ICOUNT fetch policy).
+//
+//smt:hotpath
 func (q *Queue) ThreadCount(t int) int { return q.perThread[t] }
 
 // Insert places a dispatched instruction into the smallest free entry
 // class that fits its current non-ready source count. It panics if no
 // suitable entry is available — the dispatch policies gate on CanAccept,
 // so a violation is a policy bug (hunted by the property tests).
+//
+//smt:hotpath
 func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 	n := q.srcNotReady(u, rf)
 	for k := n; k < NumClasses; k++ {
@@ -214,6 +224,8 @@ func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 
 // Remove extracts u from the queue (at issue or squash) in O(1) via the
 // back-index stored on the UOp at Insert.
+//
+//smt:hotpath
 func (q *Queue) Remove(u *uop.UOp) {
 	i := int(u.IQSlot)
 	if !u.InIQ || i >= len(q.entries) || q.entries[i] != u {
@@ -231,6 +243,8 @@ func (q *Queue) Remove(u *uop.UOp) {
 
 // detach clears u's queue-membership state, dropping it from the ready
 // list if present.
+//
+//smt:hotpath
 func (q *Queue) detach(u *uop.UOp) {
 	u.InIQ = false
 	u.Waker = nil
@@ -242,6 +256,8 @@ func (q *Queue) detach(u *uop.UOp) {
 // UOpReady implements uop.Waker: u's last outstanding source operand was
 // just produced (tag broadcast). The entry joins the ready list at its
 // age-ordered position.
+//
+//smt:hotpath
 func (q *Queue) UOpReady(u *uop.UOp) {
 	if !u.InIQ || u.InReady {
 		return
@@ -253,6 +269,8 @@ func (q *Queue) UOpReady(u *uop.UOp) {
 // incremental equivalent of the polling mode's sort-by-age. The list is
 // small (bounded by the issue-ready set, not the queue), so a binary
 // search plus a memmove beats re-sorting every cycle.
+//
+//smt:hotpath
 func (q *Queue) wake(u *uop.UOp) {
 	lo, hi := 0, len(q.ready)
 	for lo < hi {
@@ -270,6 +288,8 @@ func (q *Queue) wake(u *uop.UOp) {
 }
 
 // dropReady removes u from the ready list (issue or squash).
+//
+//smt:hotpath
 func (q *Queue) dropReady(u *uop.UOp) {
 	lo, hi := 0, len(q.ready)
 	for lo < hi {
@@ -313,6 +333,8 @@ func (p SelectPolicy) String() string {
 // ReadyOldestFirst returns the instructions whose sources are all ready,
 // sorted oldest-first by global rename order — the default select
 // policy. The returned slice is valid until the next call.
+//
+//smt:hotpath
 func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []*uop.UOp) []*uop.UOp {
 	return q.ReadyOrdered(rf, scratch, OldestFirst, 0)
 }
@@ -321,19 +343,29 @@ func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []*uop.UOp) []*uop.UO
 // select policy would grant them issue slots; tick (typically the cycle
 // number) seeds rotating policies. The returned slice is valid until the
 // next call.
+//
+//smt:hotpath
 func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPolicy, tick int64) []*uop.UOp {
-	var ready []*uop.UOp
-	if q.event {
-		// The ready list is maintained incrementally in age order; hand
-		// back a copy so the caller may issue (and Remove) while
-		// iterating. O(ready), never O(queue).
-		ready = append(scratch[:0], q.ready...)
-		if pol == ThreadRotate {
-			q.rotateOrder(ready, tick)
-		}
-		return ready
+	if !q.event {
+		return q.readyPolled(rf, scratch, pol, tick)
 	}
-	ready = scratch[:0]
+	// The ready list is maintained incrementally in age order; hand
+	// back a copy so the caller may issue (and Remove) while
+	// iterating. O(ready), never O(queue).
+	ready := append(scratch[:0], q.ready...)
+	if pol == ThreadRotate {
+		q.rotateOrder(ready, tick)
+	}
+	return ready
+}
+
+// readyPolled is ReadyOrdered for the legacy polling mode: re-scan every
+// entry against the register file and sort. Kept for the differential
+// cross-check; it is off the zero-alloc hot path (sort.Slice boxes its
+// argument and allocates the comparator closure), which is why it lives
+// outside the //smt:hotpath annotation.
+func (q *Queue) readyPolled(rf *regfile.File, scratch []*uop.UOp, pol SelectPolicy, tick int64) []*uop.UOp {
+	ready := scratch[:0]
 	for _, u := range q.entries {
 		if u.SrcsReady(rf) {
 			ready = append(ready, u)
@@ -365,6 +397,8 @@ func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPol
 // first thread, age order within each — without sorting or allocating:
 // a stable bucket pass over the (small) ready set, equivalent to sorting
 // by (rotated thread index, GSeq).
+//
+//smt:hotpath
 func (q *Queue) rotateOrder(ready []*uop.UOp, tick int64) {
 	n := len(q.perThread)
 	if n <= 1 {
@@ -408,6 +442,8 @@ func (q *Queue) DrainThread(t int) []*uop.UOp {
 }
 
 // Sample accumulates an occupancy observation; call once per cycle.
+//
+//smt:hotpath
 func (q *Queue) Sample() {
 	q.occupancySum += uint64(len(q.entries))
 	q.samples++

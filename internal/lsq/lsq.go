@@ -33,9 +33,13 @@ func (q *LSQ) Cap() int { return len(q.buf) }
 func (q *LSQ) Len() int { return q.size }
 
 // CanAlloc reports whether n more entries fit.
+//
+//smt:hotpath
 func (q *LSQ) CanAlloc(n int) bool { return q.size+n <= len(q.buf) }
 
 // Alloc appends a memory operation in program order at rename time.
+//
+//smt:hotpath
 func (q *LSQ) Alloc(u *uop.UOp) {
 	if q.size == len(q.buf) {
 		panic("lsq: overflow")
@@ -46,6 +50,8 @@ func (q *LSQ) Alloc(u *uop.UOp) {
 
 // Release removes the oldest entry, which must be u (memory operations
 // commit in program order). Used at commit and during squash.
+//
+//smt:hotpath
 func (q *LSQ) Release(u *uop.UOp) {
 	if q.size == 0 || q.buf[q.head] != u {
 		panic("lsq: release out of order")
@@ -86,6 +92,8 @@ func (q *LSQ) DrainAll() {
 
 // line8 collapses an address to its naturally aligned 8-byte granule, the
 // granularity of conflict detection.
+//
+//smt:hotpath
 func line8(addr uint64) uint64 { return addr &^ 7 }
 
 // LoadDisposition is the verdict of the disambiguation check for a load
@@ -107,6 +115,8 @@ const (
 // CheckLoad classifies a load against the older stores in the queue.
 // Scans youngest-to-oldest among entries older than the load so the
 // nearest matching store wins (correct forwarding source).
+//
+//smt:hotpath
 func (q *LSQ) CheckLoad(ld *uop.UOp) LoadDisposition {
 	target := line8(ld.Inst.Addr)
 	for i := q.size - 1; i >= 0; i-- {

@@ -76,8 +76,10 @@ type threadState struct {
 	committed uint64
 }
 
+//smt:hotpath
 func (ts *threadState) fetchQFull() bool { return ts.qLen == len(ts.fetchQ) }
 
+//smt:hotpath
 func (ts *threadState) fetchQPush(e fetchEntry) {
 	if ts.fetchQFull() {
 		panic("pipeline: fetch queue overflow")
@@ -86,6 +88,7 @@ func (ts *threadState) fetchQPush(e fetchEntry) {
 	ts.qLen++
 }
 
+//smt:hotpath
 func (ts *threadState) fetchQPeek() (fetchEntry, bool) {
 	if ts.qLen == 0 {
 		return fetchEntry{}, false
@@ -93,6 +96,7 @@ func (ts *threadState) fetchQPeek() (fetchEntry, bool) {
 	return ts.fetchQ[ts.qHead], true
 }
 
+//smt:hotpath
 func (ts *threadState) fetchQPop() fetchEntry {
 	e := ts.fetchQ[ts.qHead]
 	ts.fetchQ[ts.qHead] = fetchEntry{}
@@ -105,6 +109,8 @@ func (ts *threadState) fetchQPop() fetchEntry {
 // first, then the flush-replay queue, then the live trace. The bool
 // reports whether it came from pendingInst (its I-cache access already
 // happened).
+//
+//smt:hotpath
 func (ts *threadState) nextInst() (isa.Inst, bool) {
 	if ts.pendingValid {
 		ts.pendingValid = false
@@ -356,7 +362,7 @@ func (c *Core) Warmup(n uint64) error {
 		p.ResetStats()
 	}
 	if c.wdog != nil {
-		c.wdog.Expiries = 0
+		c.wdog.ResetStats()
 	}
 	c.iqResidencySum, c.iqIssued = 0, 0
 	c.gateFlushes = 0
@@ -410,6 +416,8 @@ func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
 
 // Step advances the machine one cycle, in reverse pipeline order so each
 // stage observes the previous cycle's state of its upstream neighbor.
+//
+//smt:hotpath
 func (c *Core) Step() {
 	c.cycle++
 	c.writeback()
@@ -429,6 +437,8 @@ func (c *Core) Step() {
 
 // writeback drains due completion events: results become visible to the
 // scheduler and the instructions commit-eligible.
+//
+//smt:hotpath
 func (c *Core) writeback() {
 	for u := c.events.popDue(c.cycle); u != nil; u = c.events.popDue(c.cycle) {
 		u.Completed = true
@@ -452,6 +462,8 @@ func (c *Core) writeback() {
 // commit retires completed instructions in program order per thread, up
 // to the machine width across threads; the scan origin rotates for
 // fairness.
+//
+//smt:hotpath
 func (c *Core) commit() {
 	budget := c.cfg.Width
 	start := c.commitRR
@@ -485,6 +497,8 @@ func (c *Core) commit() {
 // issue selects up to width ready instructions. Instructions in the
 // deadlock-avoidance buffer take precedence; while the DAB is occupied,
 // IQ selection is disabled (the paper's evaluated arbitration).
+//
+//smt:hotpath
 func (c *Core) issue() {
 	budget := c.cfg.Width
 	dab := c.disp.DAB()
@@ -535,6 +549,8 @@ func (c *Core) issue() {
 // scheduled at issue + latency, which lets single-cycle dependents issue
 // back to back; loads add the cache hierarchy's miss penalty unless they
 // forward from an older store.
+//
+//smt:hotpath
 func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
 	u.Issued = true
 	u.IssuedAt = c.cycle
@@ -560,6 +576,8 @@ func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
 // are renamed and ROB/LSQ entries allocated (always in order — the
 // invariant out-of-order dispatch relies on), then the instruction joins
 // its thread's dispatch buffer.
+//
+//smt:hotpath
 func (c *Core) rename() {
 	budget := c.cfg.Width
 	start := c.renameRR
@@ -620,6 +638,8 @@ func (c *Core) rename() {
 // thread breaks on a taken branch, a mispredicted branch (until
 // resolution), an I-cache miss (until the block arrives), or a full
 // fetch queue.
+//
+//smt:hotpath
 func (c *Core) fetch() {
 	budget := c.cfg.Width
 	threadsUsed := 0
@@ -632,6 +652,7 @@ func (c *Core) fetch() {
 	}
 }
 
+//smt:hotpath
 func (c *Core) fetchThread(t, budget int) int {
 	ts := c.threads[t]
 	lineMask := ^uint64(c.hier.L1I.Config().LineSize - 1)
@@ -718,6 +739,8 @@ func (c *Core) flushAll() {
 }
 
 // newUOp takes a reset record from the pool, or allocates one.
+//
+//smt:hotpath
 func (c *Core) newUOp() *uop.UOp {
 	if n := len(c.pool); n > 0 {
 		u := c.pool[n-1]
@@ -725,7 +748,7 @@ func (c *Core) newUOp() *uop.UOp {
 		c.pool = c.pool[:n-1]
 		return u
 	}
-	u := new(uop.UOp)
+	u := new(uop.UOp) //smt:allow-alloc — pool growth; amortized to zero in steady state
 	u.Reset()
 	return u
 }
@@ -734,6 +757,8 @@ func (c *Core) newUOp() *uop.UOp {
 // The ROB drain lists are the authoritative free sites for squashes
 // (every renamed in-flight UOp appears there exactly once); the IQ,
 // dispatch-buffer, DAB, and LSQ drains overlap them and must not free.
+//
+//smt:hotpath
 func (c *Core) freeUOp(u *uop.UOp) {
 	u.Reset()
 	c.pool = append(c.pool, u)

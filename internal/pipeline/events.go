@@ -20,6 +20,8 @@ type completion struct {
 type eventQueue []completion
 
 // schedule enqueues a completion (sift-up).
+//
+//smt:hotpath
 func (q *eventQueue) schedule(at int64, u *uop.UOp) {
 	h := append(*q, completion{at: at, seq: u.GSeq, u: u})
 	i := len(h) - 1
@@ -37,6 +39,8 @@ func (q *eventQueue) schedule(at int64, u *uop.UOp) {
 // popDue removes and returns the next completion due at or before cycle,
 // or nil if none. Stale events — the UOp was squashed, or recycled into
 // a new incarnation (seq mismatch) — are discarded.
+//
+//smt:hotpath
 func (q *eventQueue) popDue(cycle int64) *uop.UOp {
 	h := *q
 	for len(h) > 0 {

@@ -55,6 +55,8 @@ func ParseFetchGate(s string) (FetchGate, error) {
 
 // gateAllows reports whether the fetch gate permits thread t to fetch
 // this cycle.
+//
+//smt:hotpath
 func (c *Core) gateAllows(t int) bool {
 	ts := c.threads[t]
 	switch c.cfg.FetchGate {
@@ -71,6 +73,8 @@ func (c *Core) gateAllows(t int) bool {
 // noteLoadIssue records how deep a load's access went, for the gating
 // policies; for GateFlush a memory miss triggers the selective squash of
 // the thread's younger instructions.
+//
+//smt:hotpath
 func (c *Core) noteLoadIssue(u *uop.UOp, extra int) {
 	if extra <= 0 {
 		return
@@ -91,6 +95,8 @@ func (c *Core) noteLoadIssue(u *uop.UOp, extra int) {
 }
 
 // noteLoadDone unwinds noteLoadIssue's bookkeeping at completion.
+//
+//smt:hotpath
 func (c *Core) noteLoadDone(u *uop.UOp) {
 	if !u.L1DMiss {
 		return

@@ -94,11 +94,15 @@ func (f *File) Size(c isa.RegClass) int { return len(f.files[c].ready) }
 func (f *File) FreeCount(c isa.RegClass) int { return len(f.files[c].free) }
 
 // CanAlloc reports whether at least n registers of class c are free.
+//
+//smt:hotpath
 func (f *File) CanAlloc(c isa.RegClass, n int) bool { return len(f.files[c].free) >= n }
 
 // Alloc takes a register from the free list. The register starts
 // not-ready. It panics if the pool is exhausted — callers must gate
 // renaming on CanAlloc, so exhaustion here is a simulator bug.
+//
+//smt:hotpath
 func (f *File) Alloc(c isa.RegClass) PhysRef {
 	fl := &f.files[c]
 	if len(fl.free) == 0 {
@@ -121,6 +125,8 @@ func (f *File) AllocReady(c isa.RegClass) PhysRef {
 
 // Free returns a register to its pool. Double frees panic: free-list
 // conservation is a core simulator invariant (tested by property tests).
+//
+//smt:hotpath
 func (f *File) Free(p PhysRef) {
 	if !p.Valid() {
 		return
@@ -140,6 +146,8 @@ func (f *File) Free(p PhysRef) {
 
 // clearWatchers empties a consumer list, dropping the references while
 // keeping the backing array for reuse.
+//
+//smt:hotpath
 func clearWatchers(ws *[]watcher) {
 	for i := range *ws {
 		(*ws)[i] = watcher{}
@@ -152,6 +160,8 @@ func clearWatchers(ws *[]watcher) {
 // or already-ready register notifies nobody (the caller observes its
 // readiness directly). Notifications fire inside SetReady, in
 // registration order.
+//
+//smt:hotpath
 func (f *File) Watch(p PhysRef, c Consumer, token uint64) bool {
 	if !p.Valid() {
 		return false
@@ -174,6 +184,8 @@ func (f *File) Watchers(p PhysRef) int {
 }
 
 // Ready reports whether the register's value has been produced.
+//
+//smt:hotpath
 func (f *File) Ready(p PhysRef) bool {
 	if !p.Valid() {
 		return true // absent operands are trivially ready
@@ -186,6 +198,8 @@ func (f *File) Ready(p PhysRef) bool {
 // via Watch is notified exactly once, in registration order, and the
 // list is cleared. This is the event-driven tag broadcast — consumers
 // are told the operand exists instead of polling Ready every cycle.
+//
+//smt:hotpath
 func (f *File) SetReady(p PhysRef) {
 	if !p.Valid() {
 		return
@@ -220,6 +234,8 @@ func (f *File) ClearReady(p PhysRef) {
 }
 
 // Allocated reports whether the register is currently allocated.
+//
+//smt:hotpath
 func (f *File) Allocated(p PhysRef) bool {
 	if !p.Valid() {
 		return false

@@ -126,7 +126,15 @@ func (t *Table) ArchLookup(r isa.Reg) regfile.PhysRef {
 func (t *Table) CheckConsistency() error {
 	for c := 0; c < isa.NumRegClasses; c++ {
 		for i := 0; i < isa.NumArchRegs; i++ {
-			for name, m := range map[string]regfile.PhysRef{"spec": t.spec[c][i], "arch": t.arch[c][i]} {
+			// Ordered pairs, not a map literal: iteration order decides
+			// which violation is reported first, and error determinism is
+			// part of the replay contract (detlint enforces this).
+			pairs := [2]struct {
+				name string
+				m    regfile.PhysRef
+			}{{"spec", t.spec[c][i]}, {"arch", t.arch[c][i]}}
+			for _, p := range pairs {
+				name, m := p.name, p.m
 				if !m.Valid() {
 					return fmt.Errorf("rename: %s[%s%d] unmapped", name, isa.RegClass(c), i)
 				}

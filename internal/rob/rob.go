@@ -31,9 +31,13 @@ func (r *ROB) Cap() int { return len(r.buf) }
 func (r *ROB) Len() int { return r.size }
 
 // CanAlloc reports whether n more entries fit.
+//
+//smt:hotpath
 func (r *ROB) CanAlloc(n int) bool { return r.size+n <= len(r.buf) }
 
 // Alloc appends u at the tail. Callers gate on CanAlloc; overflow panics.
+//
+//smt:hotpath
 func (r *ROB) Alloc(u *uop.UOp) {
 	if r.size == len(r.buf) {
 		panic("rob: overflow")
@@ -43,6 +47,8 @@ func (r *ROB) Alloc(u *uop.UOp) {
 }
 
 // Head returns the oldest in-flight UOp, or nil if empty.
+//
+//smt:hotpath
 func (r *ROB) Head() *uop.UOp {
 	if r.size == 0 {
 		return nil
@@ -51,6 +57,8 @@ func (r *ROB) Head() *uop.UOp {
 }
 
 // PopHead removes and returns the oldest entry; nil if empty.
+//
+//smt:hotpath
 func (r *ROB) PopHead() *uop.UOp {
 	if r.size == 0 {
 		return nil
@@ -66,6 +74,8 @@ func (r *ROB) PopHead() *uop.UOp {
 // condition under which the deadlock-avoidance buffer may capture it
 // (Section 4: the ROB-oldest instruction has all sources ready by
 // definition).
+//
+//smt:hotpath
 func (r *ROB) IsHead(u *uop.UOp) bool {
 	return r.size > 0 && r.buf[r.head] == u
 }
