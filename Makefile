@@ -28,6 +28,9 @@ race:
 	go test -race ./internal/sweep/...
 
 # bench records the hot-path benchmarks (end-to-end machine + issue
-# queue, with -benchmem, 5 samples) to BENCH_PR1.json.
+# queue, with -benchmem, 5 samples) to $(BENCH_OUT). Override the
+# artifact per PR: `make bench BENCH_OUT=BENCH_PR6.json`. The script
+# refuses to record from a tree that fails `make lint`.
+BENCH_OUT ?= BENCH.json
 bench:
-	scripts/bench.sh BENCH_PR1.json
+	scripts/bench.sh $(BENCH_OUT)

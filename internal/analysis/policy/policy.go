@@ -56,6 +56,12 @@ var Protected = []ProtectedState{
 	// architectural state; only the deadlock-avoidance buffer and the
 	// watchdog carry location-exclusive state.
 	{Pkg: "smtsim/internal/core", Types: []string{"DAB", "Watchdog"}},
+	// Measurement accumulators: not architectural state, but the same
+	// single-writer discipline applies — a stray field write from a
+	// consumer would silently skew every paper artifact derived from
+	// them. Only declared results-assembly stages may fill them.
+	{Pkg: "smtsim/internal/metrics", Types: []string{"Results", "ThreadResult"}},
+	{Pkg: "smtsim/internal/power", Types: []string{"Events", "Breakdown"}},
 }
 
 // ProtectedTypes returns the type filter for a protected package and

@@ -54,6 +54,7 @@ var hotpathManifest = []string{
 	"core.DAB.Len",
 	"core.DAB.Remove",
 	"core.Dispatcher.OnComplete",
+	"core.Dispatcher.ReplayIdle",
 	"core.Dispatcher.Run",
 	"core.Dispatcher.atCap",
 	"core.Dispatcher.commitDispatch",
@@ -66,6 +67,9 @@ var hotpathManifest = []string{
 	"core.Dispatcher.samplePiled",
 	"core.Dispatcher.srcNotReady",
 	"core.Watchdog.Tick",
+	"core.taintSet.clear",
+	"core.taintSet.has",
+	"core.taintSet.set",
 	"fetch.Selector.Order",
 	"fu.Pool.tryReserve",
 	"fu.Pools.TryIssue",
@@ -80,7 +84,6 @@ var hotpathManifest = []string{
 	"iq.Queue.UOpReady",
 	"iq.Queue.detach",
 	"iq.Queue.dropReady",
-	"iq.Queue.rotateOrder",
 	"iq.Queue.srcNotReady",
 	"iq.Queue.wake",
 	"lsq.LSQ.Alloc",
@@ -90,23 +93,24 @@ var hotpathManifest = []string{
 	"lsq.line8",
 	"pipeline.Core.Step",
 	"pipeline.Core.commit",
+	"pipeline.Core.fastForward",
 	"pipeline.Core.fetch",
 	"pipeline.Core.fetchThread",
-	"pipeline.Core.freeUOp",
 	"pipeline.Core.gateAllows",
 	"pipeline.Core.issue",
 	"pipeline.Core.issueUOp",
-	"pipeline.Core.newUOp",
 	"pipeline.Core.noteLoadDone",
 	"pipeline.Core.noteLoadIssue",
 	"pipeline.Core.rename",
+	"pipeline.Core.stepCycle",
 	"pipeline.Core.writeback",
-	"pipeline.eventQueue.popDue",
-	"pipeline.eventQueue.schedule",
+	"pipeline.eventWheel.nextDue",
+	"pipeline.eventWheel.popDue",
+	"pipeline.eventWheel.schedule",
 	"pipeline.threadState.fetchQFull",
 	"pipeline.threadState.fetchQPeek",
 	"pipeline.threadState.fetchQPop",
-	"pipeline.threadState.fetchQPush",
+	"pipeline.threadState.fetchQPushSlot",
 	"pipeline.threadState.nextInst",
 	"regfile.File.Alloc",
 	"regfile.File.Allocated",
@@ -115,7 +119,6 @@ var hotpathManifest = []string{
 	"regfile.File.Ready",
 	"regfile.File.SetReady",
 	"regfile.File.Watch",
-	"regfile.clearWatchers",
 	"rob.ROB.Alloc",
 	"rob.ROB.CanAlloc",
 	"rob.ROB.Head",

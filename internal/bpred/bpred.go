@@ -13,18 +13,18 @@ type counter uint8
 //smt:hotpath
 func (c counter) taken() bool { return c >= 2 }
 
+// counterNext[c<<1|outcome] is the saturating next state: an 8-entry
+// lookup replacing the two-branch increment/decrement, so the PHT train
+// path is branchless (the bool materializes as a flag set, not a jump).
+var counterNext = [8]counter{0, 1, 0, 2, 1, 3, 2, 3}
+
 //smt:hotpath
 func (c counter) update(taken bool) counter {
+	t := counter(0)
 	if taken {
-		if c < 3 {
-			return c + 1
-		}
-		return c
+		t = 1
 	}
-	if c > 0 {
-		return c - 1
-	}
-	return c
+	return counterNext[c<<1|t]
 }
 
 // Gshare is a gShare direction predictor: the pattern-history table is
@@ -74,10 +74,11 @@ func (g *Gshare) Predict(pc uint64) bool {
 func (g *Gshare) Update(pc uint64, taken bool) {
 	i := g.index(pc)
 	g.pht[i] = g.pht[i].update(taken)
-	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	t := uint32(0)
 	if taken {
-		g.history |= 1
+		t = 1
 	}
+	g.history = ((g.history << 1) | t) & ((1 << g.histBits) - 1)
 }
 
 // History exposes the current global history register (for tests).

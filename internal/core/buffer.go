@@ -7,22 +7,36 @@ import "smtsim/internal/uop"
 // policies only the head is a dispatch candidate; under out-of-order
 // dispatch the whole buffer is scanned, so its capacity bounds how much
 // hidden ILP the OOOD mechanism can expose.
+//
+// Storage is a ring of uop ids over the core's bank, rounded up to a
+// power of two so the scan indexes with a mask instead of a modulo.
 type Buffer struct {
-	buf  []*uop.UOp
+	bank *uop.Bank
+	buf  []int32
+	mask int
+	capn int // logical capacity (CanPush gate), <= len(buf)
 	head int
 	size int
+	// gen counts content mutations (pushes and removals). The
+	// dispatcher's per-thread scan freeze uses it to detect that a
+	// buffer is unchanged since the scan it memoized.
+	gen uint32
 }
 
-// NewBuffer builds a buffer with the given capacity.
-func NewBuffer(capacity int) *Buffer {
+// NewBuffer builds a buffer with the given capacity over the bank.
+func NewBuffer(bank *uop.Bank, capacity int) *Buffer {
 	if capacity <= 0 {
 		panic("core: buffer capacity must be positive")
 	}
-	return &Buffer{buf: make([]*uop.UOp, capacity)}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Buffer{bank: bank, buf: make([]int32, n), mask: n - 1, capn: capacity}
 }
 
 // Cap returns the capacity.
-func (b *Buffer) Cap() int { return len(b.buf) }
+func (b *Buffer) Cap() int { return b.capn }
 
 // Len returns the number of buffered instructions.
 //
@@ -32,17 +46,18 @@ func (b *Buffer) Len() int { return b.size }
 // CanPush reports whether one more instruction fits.
 //
 //smt:hotpath
-func (b *Buffer) CanPush() bool { return b.size < len(b.buf) }
+func (b *Buffer) CanPush() bool { return b.size < b.capn }
 
 // Push appends a renamed instruction in program order.
 //
 //smt:hotpath
 func (b *Buffer) Push(u *uop.UOp) {
-	if b.size == len(b.buf) {
+	if b.size == b.capn {
 		panic("core: dispatch buffer overflow")
 	}
-	b.buf[(b.head+b.size)%len(b.buf)] = u
+	b.buf[(b.head+b.size)&b.mask] = u.ID
 	b.size++
+	b.gen++
 }
 
 // At returns the i-th oldest buffered instruction (0 = oldest).
@@ -52,27 +67,26 @@ func (b *Buffer) At(i int) *uop.UOp {
 	if i < 0 || i >= b.size {
 		panic("core: buffer index out of range")
 	}
-	return b.buf[(b.head+i)%len(b.buf)]
+	return b.bank.Get(b.buf[(b.head+i)&b.mask])
 }
 
 // RemoveAt extracts the i-th oldest instruction, preserving the order of
 // the rest. i==0 is the common in-order case and is O(1); out-of-order
-// removal shifts at most Cap-1 pointers, which is trivial at the buffer
+// removal shifts at most Cap-1 ids, which is trivial at the buffer
 // sizes involved (tens of entries).
 //
 //smt:hotpath
 func (b *Buffer) RemoveAt(i int) *uop.UOp {
 	u := b.At(i)
+	b.gen++
 	if i == 0 {
-		b.buf[b.head] = nil
-		b.head = (b.head + 1) % len(b.buf)
+		b.head = (b.head + 1) & b.mask
 		b.size--
 		return u
 	}
 	for j := i; j < b.size-1; j++ {
-		b.buf[(b.head+j)%len(b.buf)] = b.buf[(b.head+j+1)%len(b.buf)]
+		b.buf[(b.head+j)&b.mask] = b.buf[(b.head+j+1)&b.mask]
 	}
-	b.buf[(b.head+b.size-1)%len(b.buf)] = nil
 	b.size--
 	return u
 }

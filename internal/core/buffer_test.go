@@ -7,9 +7,28 @@ import (
 	"smtsim/internal/uop"
 )
 
+// bankAlloc hands out bank records round-robin with ascending GSeqs,
+// standing in for the rename stage's ROB allocation.
+type bankAlloc struct {
+	bank *uop.Bank
+	next int32
+	seq  uint64
+}
+
+func newBankAlloc(n int) *bankAlloc { return &bankAlloc{bank: uop.NewBank(n)} }
+
+func (a *bankAlloc) get() *uop.UOp {
+	u := a.bank.Get(a.next % int32(a.bank.Cap()))
+	a.next++
+	a.seq++
+	u.GSeq = a.seq
+	return u
+}
+
 func TestBufferPushAtRemove(t *testing.T) {
-	b := NewBuffer(4)
-	us := []*uop.UOp{{GSeq: 1}, {GSeq: 2}, {GSeq: 3}}
+	a := newBankAlloc(8)
+	b := NewBuffer(a.bank, 4)
+	us := []*uop.UOp{a.get(), a.get(), a.get()}
 	for _, u := range us {
 		if !b.CanPush() {
 			t.Fatal("CanPush false below capacity")
@@ -31,19 +50,21 @@ func TestBufferPushAtRemove(t *testing.T) {
 }
 
 func TestBufferOverflowPanics(t *testing.T) {
-	b := NewBuffer(1)
-	b.Push(&uop.UOp{})
+	a := newBankAlloc(4)
+	b := NewBuffer(a.bank, 1)
+	b.Push(a.get())
 	defer func() {
 		if recover() == nil {
 			t.Error("overflow did not panic")
 		}
 	}()
-	b.Push(&uop.UOp{})
+	b.Push(a.get())
 }
 
 func TestBufferIndexPanics(t *testing.T) {
-	b := NewBuffer(2)
-	b.Push(&uop.UOp{})
+	a := newBankAlloc(4)
+	b := NewBuffer(a.bank, 2)
+	b.Push(a.get())
 	defer func() {
 		if recover() == nil {
 			t.Error("out-of-range At did not panic")
@@ -53,10 +74,11 @@ func TestBufferIndexPanics(t *testing.T) {
 }
 
 func TestBufferDrainAll(t *testing.T) {
-	b := NewBuffer(4)
+	a := newBankAlloc(8)
+	b := NewBuffer(a.bank, 4)
 	var want []*uop.UOp
 	for i := 0; i < 4; i++ {
-		u := &uop.UOp{GSeq: uint64(i)}
+		u := a.get()
 		b.Push(u)
 		want = append(want, u)
 	}
@@ -76,12 +98,11 @@ func TestBufferDrainAll(t *testing.T) {
 // dispatch policies scan under.
 func TestBufferOrderProperty(t *testing.T) {
 	f := func(ops []uint8) bool {
-		b := NewBuffer(8)
-		seq := uint64(0)
+		a := newBankAlloc(256)
+		b := NewBuffer(a.bank, 8)
 		for _, op := range ops {
 			if op%3 != 0 && b.CanPush() {
-				seq++
-				b.Push(&uop.UOp{GSeq: seq})
+				b.Push(a.get())
 			} else if b.Len() > 0 {
 				b.RemoveAt(int(op) % b.Len())
 			}
@@ -99,9 +120,9 @@ func TestBufferOrderProperty(t *testing.T) {
 }
 
 func TestBufferWrapAround(t *testing.T) {
-	b := NewBuffer(3)
-	seq := uint64(0)
-	push := func() { seq++; b.Push(&uop.UOp{GSeq: seq}) }
+	a := newBankAlloc(8)
+	b := NewBuffer(a.bank, 3)
+	push := func() { b.Push(a.get()) }
 	push()
 	push()
 	b.RemoveAt(0)

@@ -13,7 +13,8 @@ import "smtsim/internal/uop"
 // arbitration, noted to cost essentially nothing because the IQ is
 // unlikely to issue anything in these episodes anyway).
 type DAB struct {
-	entries []*uop.UOp
+	bank    *uop.Bank
+	entries []int32
 	cap     int
 
 	// Inserts counts total captures, an indicator of how often the
@@ -21,14 +22,15 @@ type DAB struct {
 	Inserts uint64
 }
 
-// NewDAB builds a buffer with the given capacity. One entry per hardware
-// thread is sufficient to guarantee forward progress: only a thread's
-// single ROB-oldest instruction is ever eligible.
-func NewDAB(capacity int) *DAB {
+// NewDAB builds a buffer with the given capacity over the core's uop
+// bank. One entry per hardware thread is sufficient to guarantee forward
+// progress: only a thread's single ROB-oldest instruction is ever
+// eligible.
+func NewDAB(bank *uop.Bank, capacity int) *DAB {
 	if capacity <= 0 {
 		panic("core: DAB capacity must be positive")
 	}
-	return &DAB{cap: capacity}
+	return &DAB{bank: bank, cap: capacity}
 }
 
 // Cap returns the capacity.
@@ -52,22 +54,22 @@ func (d *DAB) Insert(u *uop.UOp) {
 		panic("core: DAB overflow")
 	}
 	u.InDAB = true
-	d.entries = append(d.entries, u)
+	d.entries = append(d.entries, u.ID)
 	d.Inserts++
 }
 
-// Entries returns the current occupants oldest-insertion-first. The
+// Entries returns the current occupants' ids oldest-insertion-first. The
 // returned slice is the internal storage; callers must not mutate it.
 //
 //smt:hotpath
-func (d *DAB) Entries() []*uop.UOp { return d.entries }
+func (d *DAB) Entries() []int32 { return d.entries }
 
 // Remove extracts u at issue (or squash).
 //
 //smt:hotpath
 func (d *DAB) Remove(u *uop.UOp) {
-	for i, e := range d.entries {
-		if e == u {
+	for i, id := range d.entries {
+		if id == u.ID {
 			d.entries = append(d.entries[:i], d.entries[i+1:]...)
 			u.InDAB = false
 			return
@@ -80,12 +82,13 @@ func (d *DAB) Remove(u *uop.UOp) {
 func (d *DAB) DrainThread(t int) []*uop.UOp {
 	var out []*uop.UOp
 	kept := d.entries[:0]
-	for _, u := range d.entries {
+	for _, id := range d.entries {
+		u := d.bank.Get(id)
 		if u.Thread == t {
 			u.InDAB = false
 			out = append(out, u)
 		} else {
-			kept = append(kept, u)
+			kept = append(kept, id)
 		}
 	}
 	d.entries = kept
@@ -134,6 +137,22 @@ func (w *Watchdog) Tick(dispatched bool) bool {
 
 // Limit returns the configured countdown start value.
 func (w *Watchdog) Limit() int64 { return w.limit }
+
+// Remaining returns the number of further consecutive idle cycles until
+// the watchdog expires; the quiescent-cycle fast-forward must not skip
+// past cycle now+Remaining(), where the expiry flush runs.
+func (w *Watchdog) Remaining() int64 { return w.remaining }
+
+// SkipIdle advances the countdown by k dispatch-free cycles at once, the
+// watchdog's share of the pipeline's quiescent-cycle fast-forward. The
+// skip must stop short of the expiry cycle (Remaining bounds it), so
+// crossing it here is a fast-forward bug.
+func (w *Watchdog) SkipIdle(k int64) {
+	if k >= w.remaining {
+		panic("core: watchdog idle skip crossed the expiry cycle")
+	}
+	w.remaining -= k
+}
 
 // ResetStats clears the expiry counter without disturbing the running
 // countdown, for measurement after a warmup period. (statescope: the

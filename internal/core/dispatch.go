@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smtsim/internal/iq"
+	"smtsim/internal/isa"
 	"smtsim/internal/regfile"
 	"smtsim/internal/rob"
 	"smtsim/internal/uop"
@@ -54,13 +55,56 @@ type Stats struct {
 	NDIDispatchDelayed uint64
 }
 
+// taintSet tracks one thread's tainted physical registers — destinations
+// of currently blocked NDIs and of dispatched instructions transitively
+// dependent on them — as per-class bitmaps over register indices. The
+// set is consulted on every buffered instruction during the OOOD scan,
+// so membership must be a couple of shifts, not a map probe.
+type taintSet struct {
+	w [isa.NumRegClasses][]uint64
+}
+
+func (s *taintSet) init(rf *regfile.File) {
+	for c := range s.w {
+		s.w[c] = make([]uint64, (rf.Size(isa.RegClass(c))+63)/64)
+	}
+}
+
+//smt:hotpath
+func (s *taintSet) set(p regfile.PhysRef) {
+	s.w[p.Class][p.Index>>6] |= 1 << (uint(p.Index) & 63)
+}
+
+//smt:hotpath
+func (s *taintSet) clear(p regfile.PhysRef) {
+	if s.w[p.Class] == nil {
+		return
+	}
+	s.w[p.Class][p.Index>>6] &^= 1 << (uint(p.Index) & 63)
+}
+
+//smt:hotpath
+func (s *taintSet) has(p regfile.PhysRef) bool {
+	return s.w[p.Class][p.Index>>6]>>(uint(p.Index)&63)&1 != 0
+}
+
+func (s *taintSet) reset() {
+	for c := range s.w {
+		words := s.w[c]
+		for i := range words {
+			words[i] = 0
+		}
+	}
+}
+
 // Dispatcher implements one dispatch policy over the per-thread buffers.
 // It owns the buffers and the DAB; the pipeline pushes renamed
 // instructions in and calls Run once per cycle.
 type Dispatcher struct {
+	bank    *uop.Bank
 	policy  Policy
 	width   int
-	bufs    []*Buffer
+	bufs    []Buffer
 	dab     *DAB
 	useDAB  bool
 	threads int
@@ -71,49 +115,70 @@ type Dispatcher struct {
 	// Reinhardt-style resource partitioning, [9] in the paper).
 	perThreadCap int
 
-	// taint tracks, per thread, destination registers of currently
-	// blocked NDIs and of dispatched instructions transitively dependent
-	// on them; it feeds the DepOnNDI statistic and the idealized filter.
-	taint []map[regfile.PhysRef]bool
+	// taint feeds the DepOnNDI statistic and the idealized filter; sized
+	// lazily on the first Run (the register file arrives there).
+	taint      []taintSet
+	taintReady bool
 
-	// eventWakeup selects the event-maintained UOp.NotReady counters over
-	// register-file polling for source-readiness classification; it must
-	// match the issue queue's wakeup mode.
+	// eventWakeup selects the bank's event-maintained not-ready counters
+	// over register-file polling for source-readiness classification; it
+	// must match the issue queue's wakeup mode.
 	eventWakeup bool
 
 	// reasons is per-cycle scratch for the stall accounting.
 	reasons []blockReason
 
+	// frozen memoizes, per thread, an OOOD scan that found every
+	// buffered instruction statically blocked (the 2OP condition or the
+	// idealized filter — never a queue-occupancy decision): until the
+	// buffer's generation changes or one of the thread's instructions
+	// completes, re-running the scan is pure recomputation, so Run
+	// replays the memoized statistics instead. Event-wakeup mode only.
+	frozen []threadFreeze
+
+	// Idle-replay capture for the pipeline's dispatch freeze and
+	// quiescent-cycle fast-forward: Run records which flat stall
+	// counters it bumped and by how much the per-thread/pile counters
+	// moved, so ReplayIdle can re-apply one zero-dispatch cycle's
+	// accounting k times (idempotently — the deltas are captured, not
+	// recomputed from the live stats).
+	idleWork, idleStallAny, idleStallWeak, idleStallStrict bool
+	idleNDI                                                []uint64
+	idlePiled, idlePiledHDI                                uint64
+
 	stats Stats
 }
 
-// NewDispatcher builds a dispatcher for the given policy, total dispatch
-// width (machine width, shared by all threads), per-thread buffer
-// capacity, and thread count. The DAB is sized one entry per thread,
-// which Section 4 argues is sufficient to prevent deadlock.
-func NewDispatcher(policy Policy, width, bufCap, threads int) *Dispatcher {
+// NewDispatcher builds a dispatcher over the core's uop bank for the
+// given policy, total dispatch width (machine width, shared by all
+// threads), per-thread buffer capacity, and thread count. The DAB is
+// sized one entry per thread, which Section 4 argues is sufficient to
+// prevent deadlock.
+func NewDispatcher(bank *uop.Bank, policy Policy, width, bufCap, threads int) *Dispatcher {
 	d := &Dispatcher{
+		bank:    bank,
 		policy:  policy,
 		width:   width,
 		threads: threads,
-		dab:     NewDAB(threads),
+		dab:     NewDAB(bank, threads),
 		useDAB:  true,
-		taint:   make([]map[regfile.PhysRef]bool, threads),
+		taint:   make([]taintSet, threads),
 	}
-	d.bufs = make([]*Buffer, threads)
+	d.bufs = make([]Buffer, threads)
 	for t := range d.bufs {
-		d.bufs[t] = NewBuffer(bufCap)
-		d.taint[t] = make(map[regfile.PhysRef]bool)
+		d.bufs[t] = *NewBuffer(bank, bufCap)
 	}
 	d.stats.NDIBlockCycles = make([]uint64, threads)
 	d.reasons = make([]blockReason, threads)
+	d.frozen = make([]threadFreeze, threads)
+	d.idleNDI = make([]uint64, threads)
 	return d
 }
 
 // SetEventWakeup selects event-driven source-readiness tracking: NDI/HDI
-// classification reads the UOp.NotReady counters the wakeup broadcasts
-// maintain, instead of re-polling every operand against the register
-// file each cycle. Must match the issue queue's mode.
+// classification reads the bank's NotReady counters the wakeup
+// broadcasts maintain, instead of re-polling every operand against the
+// register file each cycle. Must match the issue queue's mode.
 func (d *Dispatcher) SetEventWakeup(on bool) { d.eventWakeup = on }
 
 // srcNotReady returns u's non-ready source count under the active mode.
@@ -121,7 +186,7 @@ func (d *Dispatcher) SetEventWakeup(on bool) { d.eventWakeup = on }
 //smt:hotpath
 func (d *Dispatcher) srcNotReady(u *uop.UOp, rf *regfile.File) int {
 	if d.eventWakeup {
-		return int(u.NotReady)
+		return int(d.bank.NotReady[u.ID])
 	}
 	return u.NumSrcNotReady(rf)
 }
@@ -150,7 +215,7 @@ func (d *Dispatcher) atCap(t int, q *iq.Queue) bool {
 }
 
 // Buffer returns thread t's dispatch buffer.
-func (d *Dispatcher) Buffer(t int) *Buffer { return d.bufs[t] }
+func (d *Dispatcher) Buffer(t int) *Buffer { return &d.bufs[t] }
 
 // Stats returns a copy of the accumulated statistics.
 func (d *Dispatcher) Stats() Stats { return d.stats }
@@ -160,6 +225,20 @@ func (d *Dispatcher) Stats() Stats { return d.stats }
 func (d *Dispatcher) ResetStats() {
 	d.stats = Stats{NDIBlockCycles: make([]uint64, d.threads)}
 	d.dab.Inserts = 0
+}
+
+// threadFreeze is one thread's memoized statically-blocked scan: the
+// head-NDI statistics the scan bumps each cycle it repeats, and the
+// buffer generation it is valid for. OnComplete invalidates it (a
+// completion is the only event that changes the thread's source-
+// readiness counters or clears its taint), and any buffer mutation is
+// caught by the generation check.
+type threadFreeze struct {
+	valid    bool
+	headNDI  bool
+	gen      uint32
+	piled    uint64
+	piledHDI uint64
 }
 
 // blockReason records why a thread dispatched nothing this cycle.
@@ -178,6 +257,12 @@ const (
 //
 //smt:hotpath
 func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob.ROB) int {
+	if !d.taintReady {
+		for t := range d.taint {
+			d.taint[t].init(rf)
+		}
+		d.taintReady = true
+	}
 	budget := d.width
 	dispatched := 0
 	anyWork := false
@@ -185,6 +270,9 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 	for i := range reasons {
 		reasons[i] = blockNone
 	}
+	entryPiled, entryPiledHDI := d.stats.PiledSampled, d.stats.PiledHDI
+	copy(d.idleNDI, d.stats.NDIBlockCycles)
+	d.idleWork, d.idleStallAny, d.idleStallWeak, d.idleStallStrict = false, false, false, false
 
 	start := d.rr
 	d.rr = (d.rr + 1) % d.threads
@@ -210,10 +298,12 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 	// thread with an empty buffer is starved upstream, not stalled by
 	// the scheduler.
 	d.stats.Cycles++
+	d.idleWork = anyWork
 	if anyWork {
 		d.stats.WorkCycles++
 		if dispatched == 0 {
 			d.stats.StallAllAny++
+			d.idleStallAny = true
 			strict := true
 			weak := false
 			for t := 0; t < d.threads; t++ {
@@ -230,14 +320,58 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 			}
 			if weak {
 				d.stats.StallNDIWeak++
+				d.idleStallWeak = true
 			}
 			if strict && weak {
 				d.stats.StallAllNDI++
+				d.idleStallStrict = true
 			}
 		}
 	}
 	d.stats.Dispatched += uint64(dispatched)
+	// Finish the idle-replay capture: turn the entry snapshots into
+	// per-cycle deltas.
+	for t := range d.idleNDI {
+		d.idleNDI[t] = d.stats.NDIBlockCycles[t] - d.idleNDI[t]
+	}
+	d.idlePiled = d.stats.PiledSampled - entryPiled
+	d.idlePiledHDI = d.stats.PiledHDI - entryPiledHDI
 	return dispatched
+}
+
+// ReplayIdle applies k further cycles' worth of the accounting the last
+// Run recorded: the rotating scan origin and every per-cycle statistic
+// advance exactly as k more Run calls would have. Valid only while the
+// machine state feeding dispatch is unchanged since a zero-dispatch Run
+// — the pipeline's dispatch freeze and quiescent-cycle fast-forward
+// both guarantee it — under which every replayed cycle classifies and
+// counts identically. Safe to call repeatedly (the deltas were captured
+// at Run exit). (NDIDispatchDelayed and the taint marks are
+// deliberately untouched: the executed cycle already applied them, and
+// re-running would be idempotent.)
+//
+//smt:hotpath
+func (d *Dispatcher) ReplayIdle(k int64) {
+	ku := uint64(k)
+	d.stats.Cycles += ku
+	if d.idleWork {
+		d.stats.WorkCycles += ku
+	}
+	if d.idleStallAny {
+		d.stats.StallAllAny += ku
+	}
+	if d.idleStallWeak {
+		d.stats.StallNDIWeak += ku
+	}
+	if d.idleStallStrict {
+		d.stats.StallAllNDI += ku
+	}
+	for t := range d.stats.NDIBlockCycles {
+		d.stats.NDIBlockCycles[t] += ku * d.idleNDI[t]
+	}
+	d.stats.PiledSampled += ku * d.idlePiled
+	d.stats.PiledHDI += ku * d.idlePiledHDI
+	d.rr = (d.rr + int(k%int64(d.threads))) % d.threads
 }
 
 // runThread dispatches from one thread's buffer within the remaining
@@ -253,7 +387,7 @@ func (d *Dispatcher) runThread(cycle int64, t int, q *iq.Queue, rf *regfile.File
 
 //smt:hotpath
 func (d *Dispatcher) runThreadInOrder(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
-	buf := d.bufs[t]
+	buf := &d.bufs[t]
 	moved := 0
 	reason := blockNone
 	for moved < budget && buf.Len() > 0 {
@@ -296,21 +430,43 @@ func (d *Dispatcher) runThreadInOrder(cycle int64, t int, q *iq.Queue, rf *regfi
 
 //smt:hotpath
 func (d *Dispatcher) runThreadOOO(cycle int64, t int, q *iq.Queue, rf *regfile.File, r *rob.ROB, budget int) (int, blockReason) {
-	buf := d.bufs[t]
+	buf := &d.bufs[t]
+	fz := &d.frozen[t]
+	if fz.valid && fz.gen == buf.gen {
+		// The memoized statically-blocked scan repeats exactly: the
+		// per-uop NDI/taint marks are already in place, so only the
+		// per-cycle statistics and the live partition-cap check remain.
+		if fz.headNDI {
+			d.stats.NDIBlockCycles[t]++
+			d.stats.PiledSampled += fz.piled
+			d.stats.PiledHDI += fz.piledHDI
+		}
+		if d.atCap(t, q) {
+			return 0, blockIQFull
+		}
+		return 0, blockNDI
+	}
+	fz.valid = false
 	moved := 0
 	reason := blockNone
 
 	// Per-cycle statistics: if the oldest undispatched instruction is an
 	// NDI this cycle, record the block and sample the pile behind it.
+	headNDI := false
+	var piled, piledHDI uint64
 	if d.srcNotReady(buf.At(0), rf) > 1 {
+		headNDI = true
 		d.stats.NDIBlockCycles[t]++
+		p0, h0 := d.stats.PiledSampled, d.stats.PiledHDI
 		d.samplePiled(t, rf)
+		piled, piledHDI = d.stats.PiledSampled-p0, d.stats.PiledHDI-h0
 	}
 
 	if d.atCap(t, q) {
 		return 0, blockIQFull
 	}
 
+	dynamic := false
 scan:
 	for moved < budget && buf.Len() > 0 {
 		idx := -1
@@ -332,11 +488,12 @@ scan:
 				// withheld too.
 				u.DepOnNDI = true
 				if u.Dest.Valid() {
-					d.taint[t][u.Dest] = true
+					d.taint[t].set(u.Dest)
 				}
 				continue
 			}
 			if !q.CanAccept(nr) {
+				dynamic = true
 				if q.Free() == 0 {
 					// Queue completely full. Deadlock-avoidance path:
 					// the ROB-oldest instruction may proceed to the DAB
@@ -376,6 +533,13 @@ scan:
 			break
 		}
 	}
+	if d.eventWakeup && moved == 0 && reason == blockNDI && !dynamic {
+		// Every buffered instruction was skipped on a static condition:
+		// memoize the scan until the buffer mutates or a completion of
+		// this thread changes readiness or taint.
+		fz.valid, fz.gen = true, buf.gen
+		fz.headNDI, fz.piled, fz.piledHDI = headNDI, piled, piledHDI
+	}
 	return moved, reason
 }
 
@@ -389,7 +553,7 @@ func (d *Dispatcher) markNDI(t int, u *uop.UOp) {
 		d.stats.NDIDispatchDelayed++
 	}
 	if u.Dest.Valid() {
-		d.taint[t][u.Dest] = true
+		d.taint[t].set(u.Dest)
 	}
 }
 
@@ -399,7 +563,7 @@ func (d *Dispatcher) markNDI(t int, u *uop.UOp) {
 //
 //smt:hotpath
 func (d *Dispatcher) samplePiled(t int, rf *regfile.File) {
-	buf := d.bufs[t]
+	buf := &d.bufs[t]
 	for j := 1; j < buf.Len(); j++ {
 		d.stats.PiledSampled++
 		if d.srcNotReady(buf.At(j), rf) <= 1 {
@@ -415,7 +579,7 @@ func (d *Dispatcher) samplePiled(t int, rf *regfile.File) {
 //smt:hotpath
 func (d *Dispatcher) dependsOnNDI(t int, u *uop.UOp) bool {
 	for _, s := range u.Srcs {
-		if s.Valid() && d.taint[t][s] {
+		if s.Valid() && d.taint[t].has(s) {
 			return true
 		}
 	}
@@ -429,7 +593,7 @@ func (d *Dispatcher) commitDispatch(cycle int64, t int, u *uop.UOp, nonReady int
 	u.DispatchedAt = cycle
 	u.NonReadyAtDispatch = nonReady
 	if u.Dest.Valid() {
-		delete(d.taint[t], u.Dest) // no longer a blocked producer
+		d.taint[t].clear(u.Dest) // no longer a blocked producer
 	}
 	if outOfOrder {
 		u.WasHDI = true
@@ -438,7 +602,7 @@ func (d *Dispatcher) commitDispatch(cycle int64, t int, u *uop.UOp, nonReady int
 			u.DepOnNDI = true
 			d.stats.HDIDepOnNDI++
 			if u.Dest.Valid() {
-				d.taint[t][u.Dest] = true
+				d.taint[t].set(u.Dest)
 			}
 		}
 	}
@@ -452,7 +616,7 @@ func (d *Dispatcher) dispatchToDAB(cycle int64, t int, u *uop.UOp, outOfOrder bo
 	u.DispatchedAt = cycle
 	u.NonReadyAtDispatch = 0
 	if u.Dest.Valid() {
-		delete(d.taint[t], u.Dest)
+		d.taint[t].clear(u.Dest)
 	}
 	if outOfOrder {
 		u.WasHDI = true
@@ -467,8 +631,9 @@ func (d *Dispatcher) dispatchToDAB(cycle int64, t int, u *uop.UOp, outOfOrder bo
 //
 //smt:hotpath
 func (d *Dispatcher) OnComplete(u *uop.UOp) {
+	d.frozen[u.Thread].valid = false
 	if u.Dest.Valid() {
-		delete(d.taint[u.Thread], u.Dest)
+		d.taint[u.Thread].clear(u.Dest)
 	}
 }
 
@@ -477,7 +642,7 @@ func (d *Dispatcher) OnComplete(u *uop.UOp) {
 func (d *Dispatcher) DrainThread(t int) (buffered, dab []*uop.UOp) {
 	buffered = d.bufs[t].DrainAll()
 	dab = d.dab.DrainThread(t)
-	d.taint[t] = make(map[regfile.PhysRef]bool)
+	d.taint[t].reset()
 	return buffered, dab
 }
 
@@ -490,7 +655,8 @@ func (d *Dispatcher) DrainThread(t int) (buffered, dab []*uop.UOp) {
 // with fresh eyes each cycle). It returns an error describing the first
 // violation.
 func (d *Dispatcher) CheckInvariants(q *iq.Queue, rf *regfile.File) error {
-	for t, buf := range d.bufs {
+	for t := range d.bufs {
+		buf := &d.bufs[t]
 		var prev uint64
 		for j := 0; j < buf.Len(); j++ {
 			u := buf.At(j)
@@ -506,20 +672,43 @@ func (d *Dispatcher) CheckInvariants(q *iq.Queue, rf *regfile.File) error {
 			}
 			prev = u.GSeq
 			if d.eventWakeup {
+				counter := int(d.bank.NotReady[u.ID])
 				polled := u.NumSrcNotReady(rf)
-				if int(u.NotReady) != polled {
+				if counter != polled {
 					return fmt.Errorf("core: thread %d buffered gseq=%d pc=%#x counter says %d non-ready, register file says %d",
-						t, u.GSeq, u.Inst.PC, u.NotReady, polled)
+						t, u.GSeq, u.Inst.PC, counter, polled)
 				}
-				if q.ClassSupported(int(u.NotReady)) != q.ClassSupported(polled) {
+				if q.ClassSupported(counter) != q.ClassSupported(polled) {
 					return fmt.Errorf("core: thread %d gseq=%d NDI classification diverges (counter %d, polled %d)",
-						t, u.GSeq, u.NotReady, polled)
+						t, u.GSeq, counter, polled)
 				}
 			}
 		}
 	}
 	if got := d.dab.Len(); got > d.dab.Cap() {
 		return fmt.Errorf("core: DAB holds %d entries over capacity %d", got, d.dab.Cap())
+	}
+	// A live scan freeze asserts the whole buffer is statically blocked:
+	// every entry must still classify as a 2OP-condition NDI or a
+	// filtered NDI-dependent, or the memo is hiding dispatchable work.
+	for t := range d.frozen {
+		fz := &d.frozen[t]
+		buf := &d.bufs[t]
+		if !d.eventWakeup || !fz.valid || fz.gen != buf.gen {
+			continue
+		}
+		for j := 0; j < buf.Len(); j++ {
+			u := buf.At(j)
+			nr := int(d.bank.NotReady[u.ID])
+			if !q.ClassSupported(nr) {
+				continue
+			}
+			if d.policy.filtered() && d.dependsOnNDI(t, u) {
+				continue
+			}
+			return fmt.Errorf("core: thread %d scan freeze hides dispatchable gseq=%d (%d non-ready sources)",
+				t, u.GSeq, nr)
+		}
 	}
 	return nil
 }
@@ -534,7 +723,7 @@ func (d *Dispatcher) SquashYoungerThan(t int, gseq uint64) []*uop.UOp {
 	out := d.bufs[t].DrainYoungerThan(gseq)
 	for _, u := range out {
 		if u.Dest.Valid() {
-			delete(d.taint[t], u.Dest)
+			d.taint[t].clear(u.Dest)
 		}
 	}
 	return out

@@ -11,10 +11,11 @@ import (
 )
 
 // rig is a dispatch-stage test rig: a dispatcher over real IQ, register
-// file, and ROBs, with helpers to fabricate renamed instructions whose
-// operand readiness is controlled directly.
+// file, ROBs, and a shared uop bank, with helpers to fabricate renamed
+// instructions whose operand readiness is controlled directly.
 type rig struct {
 	t    *testing.T
+	bank *uop.Bank
 	d    *Dispatcher
 	q    *iq.Queue
 	rf   *regfile.File
@@ -22,35 +23,34 @@ type rig struct {
 	seq  uint64
 }
 
+const rigROBCap = 96
+
 func newRig(t *testing.T, policy Policy, iqSize, bufCap, threads int) *rig {
+	bank := uop.NewBank(threads * rigROBCap)
 	r := &rig{
-		t:  t,
-		d:  NewDispatcher(policy, 8, bufCap, threads),
-		q:  iq.New(iqSize, policy.MaxNonReady(), threads),
-		rf: newRigRegfile(),
+		t:    t,
+		bank: bank,
+		d:    NewDispatcher(bank, policy, 8, bufCap, threads),
+		q:    iq.New(bank, iqSize, policy.MaxNonReady(), threads),
+		rf:   newRigRegfile(),
 	}
 	for i := 0; i < threads; i++ {
-		r.robs = append(r.robs, newRigROB())
+		r.robs = append(r.robs, rob.New(bank, int32(i*rigROBCap), rigROBCap))
 	}
 	return r
 }
 
 func newRigRegfile() *regfile.File { return regfile.New(256, 256) }
 
-func newRigROB() *rob.ROB { return rob.New(96) }
-
 // add fabricates a renamed instruction for thread t with the given
-// non-ready source operands (nil regs mean a ready source), allocates its
-// ROB entry, and buffers it for dispatch. It returns the UOp and its
-// destination register.
+// number of non-ready source operands, allocates its ROB entry, and
+// buffers it for dispatch.
 func (r *rig) add(t int, nonReady int) *uop.UOp {
 	r.seq++
-	u := &uop.UOp{
-		Thread:       t,
-		GSeq:         r.seq,
-		Inst:         isa.Inst{Class: isa.IntAlu, Dest: isa.Int(5)},
-		DispatchedAt: uop.NoCycle,
-	}
+	u := r.robs[t].Alloc()
+	u.Thread = t
+	u.GSeq = r.seq
+	u.Inst = isa.Inst{Class: isa.IntAlu, Dest: isa.Int(5)}
 	for i := 0; i < isa.MaxSources; i++ {
 		p := r.rf.Alloc(isa.IntReg)
 		if i >= nonReady {
@@ -59,7 +59,6 @@ func (r *rig) add(t int, nonReady int) *uop.UOp {
 		u.Srcs[i] = p
 	}
 	u.Dest = r.rf.Alloc(isa.IntReg)
-	r.robs[t].Alloc(u)
 	r.d.Buffer(t).Push(u)
 	return u
 }
@@ -68,29 +67,21 @@ func (r *rig) add(t int, nonReady int) *uop.UOp {
 // of producer (and therefore not ready until the producer completes).
 func (r *rig) addDep(t int, producer *uop.UOp) *uop.UOp {
 	r.seq++
-	u := &uop.UOp{
-		Thread:       t,
-		GSeq:         r.seq,
-		Inst:         isa.Inst{Class: isa.IntAlu, Dest: isa.Int(6)},
-		DispatchedAt: uop.NoCycle,
-	}
+	u := r.robs[t].Alloc()
+	u.Thread = t
+	u.GSeq = r.seq
+	u.Inst = isa.Inst{Class: isa.IntAlu, Dest: isa.Int(6)}
 	u.Srcs[0] = producer.Dest
 	p := r.rf.Alloc(isa.IntReg)
 	r.rf.SetReady(p)
 	u.Srcs[1] = p
 	u.Dest = r.rf.Alloc(isa.IntReg)
-	r.robs[t].Alloc(u)
 	r.d.Buffer(t).Push(u)
 	return u
 }
 
 func (r *rig) run(cycle int64) int {
 	return r.d.Run(cycle, r.q, r.rf, r.robs)
-}
-
-// mkReadyUOp builds a standalone all-ready UOp for DAB tests.
-func mkReadyUOp(thread int) *uop.UOp {
-	return &uop.UOp{Thread: thread, Inst: isa.Inst{Class: isa.IntAlu}}
 }
 
 func TestInOrderDispatchesTwoNonReady(t *testing.T) {

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+	"smtsim/internal/uop"
+)
 
 func TestPolicyNames(t *testing.T) {
 	want := map[Policy]string{
@@ -70,13 +75,24 @@ func TestWatchdog(t *testing.T) {
 	}
 }
 
+// mkReadyUOp fills the next bank slot as an all-ready instruction for
+// the given thread, for DAB tests.
+func mkReadyUOp(bank *uop.Bank, id int32, thread int) *uop.UOp {
+	u := bank.Get(id)
+	u.Thread = thread
+	u.GSeq = uint64(id + 1)
+	u.Inst = isa.Inst{Class: isa.IntAlu}
+	return u
+}
+
 func TestDABBasics(t *testing.T) {
-	d := NewDAB(2)
+	bank := uop.NewBank(4)
+	d := NewDAB(bank, 2)
 	if !d.CanInsert() || d.Len() != 0 || d.Cap() != 2 {
 		t.Fatal("fresh DAB state wrong")
 	}
-	a := mkReadyUOp(0)
-	b := mkReadyUOp(1)
+	a := mkReadyUOp(bank, 0, 0)
+	b := mkReadyUOp(bank, 1, 1)
 	d.Insert(a)
 	d.Insert(b)
 	if d.CanInsert() {
@@ -95,27 +111,29 @@ func TestDABBasics(t *testing.T) {
 }
 
 func TestDABOverflowPanics(t *testing.T) {
-	d := NewDAB(1)
-	d.Insert(mkReadyUOp(0))
+	bank := uop.NewBank(4)
+	d := NewDAB(bank, 1)
+	d.Insert(mkReadyUOp(bank, 0, 0))
 	defer func() {
 		if recover() == nil {
 			t.Error("DAB overflow did not panic")
 		}
 	}()
-	d.Insert(mkReadyUOp(0))
+	d.Insert(mkReadyUOp(bank, 1, 0))
 }
 
 func TestDABDrainThread(t *testing.T) {
-	d := NewDAB(4)
-	a := mkReadyUOp(0)
-	b := mkReadyUOp(1)
+	bank := uop.NewBank(4)
+	d := NewDAB(bank, 4)
+	a := mkReadyUOp(bank, 0, 0)
+	b := mkReadyUOp(bank, 1, 1)
 	d.Insert(a)
 	d.Insert(b)
 	out := d.DrainThread(0)
 	if len(out) != 1 || out[0] != a || a.InDAB {
 		t.Error("DrainThread(0) wrong")
 	}
-	if d.Len() != 1 || d.Entries()[0] != b {
+	if d.Len() != 1 || d.Entries()[0] != b.ID {
 		t.Error("other thread's entry disturbed")
 	}
 }

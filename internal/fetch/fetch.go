@@ -59,6 +59,14 @@ func NewSelector(policy Policy, threads int) *Selector {
 	}
 }
 
+// SkipIdle advances the rotating tie-break offset by k cycles at once,
+// exactly as k Order calls would have: the rotation is unconditional,
+// so idle cycles replayed by the pipeline's quiescent-cycle
+// fast-forward must advance it too.
+func (s *Selector) SkipIdle(k int64) {
+	s.rr = (s.rr + int(k%int64(s.threads))) % s.threads
+}
+
 // Order returns the thread ids to fetch from, highest priority first.
 // runnable reports whether a thread can fetch this cycle; icount supplies
 // each thread's in-flight front-end + IQ instruction count. The returned

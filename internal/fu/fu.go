@@ -20,8 +20,8 @@ type Pool struct {
 }
 
 // newPool builds a pool of n units, all free at cycle 0.
-func newPool(name string, n int) *Pool {
-	return &Pool{name: name, freeAt: make([]int64, n)}
+func newPool(name string, n int) Pool {
+	return Pool{name: name, freeAt: make([]int64, n)}
 }
 
 // tryReserve finds a unit free at cycle and occupies it for busy cycles.
@@ -85,9 +85,11 @@ func DefaultConfig() Config {
 	return Config{IntAlu: 8, IntMult: 4, Mem: 4, FpAdd: 8, FpMult: 4}
 }
 
-// Pools is the complete execution-unit inventory.
+// Pools is the complete execution-unit inventory. The pools are stored
+// by value — one flat array of next-free columns — so TryIssue reaches
+// the unit state without a pointer hop per issue attempt.
 type Pools struct {
-	pools [numPools]*Pool
+	pools [numPools]Pool
 }
 
 // New builds the pools from cfg.
@@ -107,7 +109,7 @@ func New(cfg Config) (*Pools, error) {
 			return nil, fmt.Errorf("fu: pool %s must have at least one unit, got %d", c.name, c.n)
 		}
 	}
-	return &Pools{pools: [numPools]*Pool{
+	return &Pools{pools: [numPools]Pool{
 		poolIntAlu:  newPool("int-alu", cfg.IntAlu),
 		poolIntMult: newPool("int-mult", cfg.IntMult),
 		poolMem:     newPool("mem", cfg.Mem),

@@ -11,14 +11,20 @@ import (
 // BenchmarkInsertRemove measures the queue's entry management, the
 // per-dispatch cost of the simulator's hottest structure.
 func BenchmarkInsertRemove(b *testing.B) {
+	bank := uop.NewBank(64)
 	rf := regfile.New(256, 256)
-	q := New(64, 2, 4)
+	q := New(bank, 64, 2, 4)
 	us := make([]*uop.UOp, 64)
 	for i := range us {
 		p := rf.Alloc(isa.IntReg)
 		rf.SetReady(p)
-		us[i] = &uop.UOp{Thread: i % 4, GSeq: uint64(i), Srcs: [2]regfile.PhysRef{p, regfile.NoPhys}}
+		u := bank.Get(int32(i))
+		u.Thread = i % 4
+		u.GSeq = uint64(i + 1)
+		u.Srcs = [2]regfile.PhysRef{p, regfile.NoPhys}
+		us[i] = u
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, u := range us {
@@ -33,16 +39,22 @@ func BenchmarkInsertRemove(b *testing.B) {
 // BenchmarkReadySelect measures oldest-first selection over a full
 // 64-entry queue with half the entries ready — the per-cycle issue cost.
 func BenchmarkReadySelect(b *testing.B) {
+	bank := uop.NewBank(64)
 	rf := regfile.New(256, 256)
-	q := New(64, 2, 4)
+	q := New(bank, 64, 2, 4)
 	for i := 0; i < 64; i++ {
 		p := rf.Alloc(isa.IntReg)
 		if i%2 == 0 {
 			rf.SetReady(p)
 		}
-		q.Insert(&uop.UOp{Thread: i % 4, GSeq: uint64(i), Srcs: [2]regfile.PhysRef{p, regfile.NoPhys}}, rf)
+		u := bank.Get(int32(i))
+		u.Thread = i % 4
+		u.GSeq = uint64(i + 1)
+		u.Srcs = [2]regfile.PhysRef{p, regfile.NoPhys}
+		q.Insert(u, rf)
 	}
-	var scratch []*uop.UOp
+	var scratch []int32
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scratch = q.ReadyOldestFirst(rf, scratch)
@@ -51,26 +63,32 @@ func BenchmarkReadySelect(b *testing.B) {
 
 // BenchmarkIQWakeup measures the full wakeup chain for one batch of 64
 // dependent instructions — dispatch, tag broadcast, selection, issue —
-// under both disciplines. In event mode the broadcast itself moves each
-// entry onto the ready list (Watch + OperandReady + wake) and selection
-// copies that list; in polling mode the broadcast is a bit flip and
-// selection re-scans and re-sorts the queue.
+// under both disciplines. In event mode the broadcast walks the
+// register's consumer bitmap, decrements each watcher's bank counter,
+// and moves zero-counter entries onto the ready list; in polling mode
+// the broadcast is a bit flip and selection re-scans and re-sorts the
+// queue.
 func BenchmarkIQWakeup(b *testing.B) {
 	for _, mode := range []struct {
 		name  string
 		event bool
 	}{{"event", true}, {"polling", false}} {
 		b.Run(mode.name, func(b *testing.B) {
+			bank := uop.NewBank(64)
 			rf := regfile.New(256, 256)
-			q := New(64, 2, 4)
+			q := New(bank, 64, 2, 4)
 			q.SetEventWakeup(mode.event)
+			if mode.event {
+				rf.AttachWakeup(bank.Cap(), bank.NotReady, func(id int32) {
+					q.UOpReady(bank.Get(id))
+				})
+			}
 			us := make([]*uop.UOp, 64)
 			regs := make([]regfile.PhysRef, 64)
 			for i := range us {
-				us[i] = new(uop.UOp)
-				us[i].Reset()
+				us[i] = bank.Get(int32(i))
 			}
-			var scratch []*uop.UOp
+			var scratch []int32
 			gseq := uint64(1)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -83,10 +101,11 @@ func BenchmarkIQWakeup(b *testing.B) {
 					gseq++
 					u.Srcs[0] = p
 					if mode.event {
-						u.NotReady = 0
-						if rf.Watch(p, u, u.GSeq) {
-							u.NotReady = 1
+						nr := int8(0)
+						if rf.Watch(p, u.ID) {
+							nr = 1
 						}
+						bank.NotReady[u.ID] = nr
 					}
 					q.Insert(u, rf)
 				}
@@ -97,8 +116,8 @@ func BenchmarkIQWakeup(b *testing.B) {
 				if len(scratch) != len(us) {
 					b.Fatalf("ready %d, want %d", len(scratch), len(us))
 				}
-				for _, u := range scratch {
-					q.Remove(u)
+				for _, id := range scratch {
+					q.Remove(bank.Get(id))
 				}
 				for _, p := range regs {
 					rf.Free(p)
@@ -112,13 +131,18 @@ func BenchmarkIQWakeup(b *testing.B) {
 // proceeds in insertion order, so every Remove targets the logical front
 // — the old linear scan's best case was the back, its worst case this.
 func BenchmarkIQRemove(b *testing.B) {
+	bank := uop.NewBank(64)
 	rf := regfile.New(256, 256)
-	q := New(64, 2, 4)
+	q := New(bank, 64, 2, 4)
 	us := make([]*uop.UOp, 64)
 	for i := range us {
 		p := rf.Alloc(isa.IntReg)
 		rf.SetReady(p)
-		us[i] = &uop.UOp{Thread: i % 4, GSeq: uint64(i + 1), Srcs: [2]regfile.PhysRef{p, regfile.NoPhys}}
+		u := bank.Get(int32(i))
+		u.Thread = i % 4
+		u.GSeq = uint64(i + 1)
+		u.Srcs = [2]regfile.PhysRef{p, regfile.NoPhys}
+		us[i] = u
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

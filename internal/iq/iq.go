@@ -14,6 +14,10 @@
 //
 // Behaviour inside the queue is identical across entry types; the
 // designs differ in what the dispatch stage may send (package core).
+//
+// The queue stores dense uop ids, not pointers: entry and ready-list
+// state is a few flat int32/struct arrays over the core's uop bank, so
+// the steady-state select loop walks contiguous memory.
 package iq
 
 import (
@@ -42,6 +46,15 @@ func Uniform(capacity, comparators int) Partition {
 	return p
 }
 
+// readyEnt is one ready-list element: the uop's age, id, and thread,
+// denormalized so selection and the thread-rotate pass never touch the
+// bank.
+type readyEnt struct {
+	seq    uint64
+	id     int32
+	thread int32
+}
+
 // Queue is the shared issue queue.
 //
 // The queue supports two wakeup disciplines. In the legacy polling mode
@@ -49,23 +62,22 @@ func Uniform(capacity, comparators int) Partition {
 // and for tests that build entries by hand), ReadyOrdered re-scans every
 // entry against the register file each call. In event-driven mode
 // (SetEventWakeup, what the pipeline uses) the queue mirrors a hardware
-// tag-broadcast CAM: each entry carries a not-ready operand counter
-// maintained through the register file's consumer lists, and entries
-// whose counter hits zero move onto an age-ordered ready list at
-// broadcast time, so selection pops from an already-sorted list and
-// never rescans the queue.
+// tag-broadcast CAM: each entry's not-ready operand counter lives in the
+// uop bank and is maintained by the register file's consumer bitmaps,
+// and entries whose counter hits zero move onto an age-ordered ready
+// list at broadcast time, so selection pops from an already-sorted list
+// and never rescans the queue.
 type Queue struct {
+	bank      *uop.Bank
 	part      Partition
 	used      [NumClasses]int
-	entries   []*uop.UOp
+	entries   []int32 // uop ids, slot order mirrored in UOp.IQSlot
 	perThread []int
 
 	// event selects event-driven wakeup; ready is the incrementally
-	// maintained ready list, ascending by GSeq (oldest first); rot is
-	// scratch for the thread-rotate ordering.
+	// maintained ready list, ascending by seq (oldest first).
 	event bool
-	ready []*uop.UOp
-	rot   []*uop.UOp
+	ready []readyEnt
 
 	// Statistics.
 	Inserts      uint64
@@ -73,21 +85,21 @@ type Queue struct {
 	samples      uint64
 }
 
-// New builds a uniform queue with the given number of entries, each with
-// maxNonReady tag comparators: 2 for the traditional scheduler, 1 for
-// the 2OP designs.
-func New(capacity, maxNonReady, threads int) *Queue {
+// New builds a uniform queue over the core's uop bank with the given
+// number of entries, each with maxNonReady tag comparators: 2 for the
+// traditional scheduler, 1 for the 2OP designs.
+func New(bank *uop.Bank, capacity, maxNonReady, threads int) *Queue {
 	if capacity <= 0 {
 		panic("iq: capacity must be positive")
 	}
 	if maxNonReady < 0 || maxNonReady >= NumClasses {
 		panic("iq: maxNonReady must be 0..2")
 	}
-	return NewPartitioned(Uniform(capacity, maxNonReady), threads)
+	return NewPartitioned(bank, Uniform(capacity, maxNonReady), threads)
 }
 
 // NewPartitioned builds a queue with typed entries.
-func NewPartitioned(part Partition, threads int) *Queue {
+func NewPartitioned(bank *uop.Bank, part Partition, threads int) *Queue {
 	if part.Total() <= 0 {
 		panic("iq: empty partition")
 	}
@@ -97,17 +109,19 @@ func NewPartitioned(part Partition, threads int) *Queue {
 		}
 	}
 	return &Queue{
+		bank:      bank,
 		part:      part,
-		entries:   make([]*uop.UOp, 0, part.Total()),
+		entries:   make([]int32, 0, part.Total()),
 		perThread: make([]int, threads),
 	}
 }
 
 // SetEventWakeup switches between event-driven wakeup (true) and the
 // legacy per-cycle polling (false). In event mode, callers must maintain
-// each UOp's NotReady counter before Insert (the pipeline does this at
-// rename via regfile.Watch); the queue then keeps its ready list current
-// through UOpReady callbacks. Must be called while the queue is empty.
+// the bank's NotReady counter before Insert (the pipeline does this at
+// rename via regfile.Watch) and route zero-crossing broadcasts to
+// UOpReady; the queue then keeps its ready list current. Must be called
+// while the queue is empty.
 func (q *Queue) SetEventWakeup(on bool) {
 	if len(q.entries) > 0 {
 		panic("iq: cannot switch wakeup mode with entries in flight")
@@ -119,12 +133,12 @@ func (q *Queue) SetEventWakeup(on bool) {
 func (q *Queue) EventWakeup() bool { return q.event }
 
 // srcNotReady returns u's non-ready source count under the active mode:
-// the event-maintained counter, or a register-file poll.
+// the bank's event-maintained counter, or a register-file poll.
 //
 //smt:hotpath
 func (q *Queue) srcNotReady(u *uop.UOp, rf *regfile.File) int {
 	if q.event {
-		return int(u.NotReady)
+		return int(q.bank.NotReady[u.ID])
 	}
 	return u.NumSrcNotReady(rf)
 }
@@ -206,14 +220,11 @@ func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 			u.IQClass = int8(k)
 			u.InIQ = true
 			u.IQSlot = int32(len(q.entries))
-			q.entries = append(q.entries, u)
+			q.entries = append(q.entries, u.ID)
 			q.perThread[u.Thread]++
 			q.Inserts++
-			if q.event {
-				u.Waker = q
-				if n == 0 {
-					q.wake(u)
-				}
+			if q.event && n == 0 {
+				q.wake(u)
 			}
 			return
 		}
@@ -228,13 +239,13 @@ func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 //smt:hotpath
 func (q *Queue) Remove(u *uop.UOp) {
 	i := int(u.IQSlot)
-	if !u.InIQ || i >= len(q.entries) || q.entries[i] != u {
+	if !u.InIQ || i >= len(q.entries) || q.entries[i] != u.ID {
 		panic("iq: remove of absent entry")
 	}
 	last := len(q.entries) - 1
-	q.entries[i] = q.entries[last]
-	q.entries[i].IQSlot = int32(i)
-	q.entries[last] = nil
+	moved := q.entries[last]
+	q.entries[i] = moved
+	q.bank.Get(moved).IQSlot = int32(i)
 	q.entries = q.entries[:last]
 	q.perThread[u.Thread]--
 	q.used[u.IQClass]--
@@ -247,15 +258,16 @@ func (q *Queue) Remove(u *uop.UOp) {
 //smt:hotpath
 func (q *Queue) detach(u *uop.UOp) {
 	u.InIQ = false
-	u.Waker = nil
 	if u.InReady {
 		q.dropReady(u)
 	}
 }
 
-// UOpReady implements uop.Waker: u's last outstanding source operand was
-// just produced (tag broadcast). The entry joins the ready list at its
-// age-ordered position.
+// UOpReady is the wakeup sink: u's last outstanding source operand was
+// just produced (tag broadcast). If u occupies a queue entry, it joins
+// the ready list at its age-ordered position; broadcasts for uops still
+// in dispatch buffers are ignored here (the dispatch stage reads the
+// bank counter directly).
 //
 //smt:hotpath
 func (q *Queue) UOpReady(u *uop.UOp) {
@@ -275,15 +287,15 @@ func (q *Queue) wake(u *uop.UOp) {
 	lo, hi := 0, len(q.ready)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if q.ready[mid].GSeq < u.GSeq {
+		if q.ready[mid].seq < u.GSeq {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	q.ready = append(q.ready, nil)
+	q.ready = append(q.ready, readyEnt{})
 	copy(q.ready[lo+1:], q.ready[lo:])
-	q.ready[lo] = u
+	q.ready[lo] = readyEnt{seq: u.GSeq, id: u.ID, thread: int32(u.Thread)}
 	u.InReady = true
 }
 
@@ -294,17 +306,16 @@ func (q *Queue) dropReady(u *uop.UOp) {
 	lo, hi := 0, len(q.ready)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if q.ready[mid].GSeq < u.GSeq {
+		if q.ready[mid].seq < u.GSeq {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo >= len(q.ready) || q.ready[lo] != u {
+	if lo >= len(q.ready) || q.ready[lo].id != u.ID {
 		panic("iq: ready-list entry missing")
 	}
 	copy(q.ready[lo:], q.ready[lo+1:])
-	q.ready[len(q.ready)-1] = nil
 	q.ready = q.ready[:len(q.ready)-1]
 	u.InReady = false
 }
@@ -330,33 +341,47 @@ func (p SelectPolicy) String() string {
 	return "oldest-first"
 }
 
-// ReadyOldestFirst returns the instructions whose sources are all ready,
-// sorted oldest-first by global rename order — the default select
+// ReadyOldestFirst returns the ids of instructions whose sources are all
+// ready, sorted oldest-first by global rename order — the default select
 // policy. The returned slice is valid until the next call.
 //
 //smt:hotpath
-func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []*uop.UOp) []*uop.UOp {
+func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []int32) []int32 {
 	return q.ReadyOrdered(rf, scratch, OldestFirst, 0)
 }
 
-// ReadyOrdered returns the ready instructions in the order the given
-// select policy would grant them issue slots; tick (typically the cycle
-// number) seeds rotating policies. The returned slice is valid until the
-// next call.
+// ReadyOrdered returns the ready instructions' ids in the order the
+// given select policy would grant them issue slots; tick (typically the
+// cycle number) seeds rotating policies. The ids are written into
+// scratch so the caller may issue (and Remove) while iterating.
 //
 //smt:hotpath
-func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPolicy, tick int64) []*uop.UOp {
+func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []int32, pol SelectPolicy, tick int64) []int32 {
 	if !q.event {
 		return q.readyPolled(rf, scratch, pol, tick)
 	}
-	// The ready list is maintained incrementally in age order; hand
-	// back a copy so the caller may issue (and Remove) while
-	// iterating. O(ready), never O(queue).
-	ready := append(scratch[:0], q.ready...)
-	if pol == ThreadRotate {
-		q.rotateOrder(ready, tick)
+	out := scratch[:0]
+	if pol == ThreadRotate && len(q.perThread) > 1 {
+		// Threads visited in rotating sequence from this tick's first
+		// thread, age order within each — a stable bucket pass over the
+		// (small) age-sorted ready list, equivalent to sorting by
+		// (rotated thread index, GSeq).
+		n := len(q.perThread)
+		first := int(tick % int64(n))
+		for k := 0; k < n; k++ {
+			t := int32((first + k) % n)
+			for _, e := range q.ready {
+				if e.thread == t {
+					out = append(out, e.id)
+				}
+			}
+		}
+		return out
 	}
-	return ready
+	for _, e := range q.ready {
+		out = append(out, e.id)
+	}
+	return out
 }
 
 // readyPolled is ReadyOrdered for the legacy polling mode: re-scan every
@@ -364,11 +389,11 @@ func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []*uop.UOp, pol SelectPol
 // cross-check; it is off the zero-alloc hot path (sort.Slice boxes its
 // argument and allocates the comparator closure), which is why it lives
 // outside the //smt:hotpath annotation.
-func (q *Queue) readyPolled(rf *regfile.File, scratch []*uop.UOp, pol SelectPolicy, tick int64) []*uop.UOp {
+func (q *Queue) readyPolled(rf *regfile.File, scratch []int32, pol SelectPolicy, tick int64) []int32 {
 	ready := scratch[:0]
-	for _, u := range q.entries {
-		if u.SrcsReady(rf) {
-			ready = append(ready, u)
+	for _, id := range q.entries {
+		if q.bank.Get(id).SrcsReady(rf) {
+			ready = append(ready, id)
 		}
 	}
 	switch pol {
@@ -379,42 +404,20 @@ func (q *Queue) readyPolled(rf *regfile.File, scratch []*uop.UOp, pol SelectPoli
 		}
 		first := int(tick % int64(n))
 		sort.Slice(ready, func(i, j int) bool {
-			a := (ready[i].Thread - first + n) % n
-			b := (ready[j].Thread - first + n) % n
+			ui, uj := q.bank.Get(ready[i]), q.bank.Get(ready[j])
+			a := (ui.Thread - first + n) % n
+			b := (uj.Thread - first + n) % n
 			if a != b {
 				return a < b
 			}
-			return ready[i].GSeq < ready[j].GSeq
+			return ui.GSeq < uj.GSeq
 		})
 	default:
-		sort.Slice(ready, func(i, j int) bool { return ready[i].GSeq < ready[j].GSeq })
+		sort.Slice(ready, func(i, j int) bool {
+			return q.bank.Get(ready[i]).GSeq < q.bank.Get(ready[j]).GSeq
+		})
 	}
 	return ready
-}
-
-// rotateOrder reorders an age-sorted ready slice into the thread-rotate
-// grant order — threads visited in rotating sequence from this tick's
-// first thread, age order within each — without sorting or allocating:
-// a stable bucket pass over the (small) ready set, equivalent to sorting
-// by (rotated thread index, GSeq).
-//
-//smt:hotpath
-func (q *Queue) rotateOrder(ready []*uop.UOp, tick int64) {
-	n := len(q.perThread)
-	if n <= 1 {
-		return
-	}
-	first := int(tick % int64(n))
-	q.rot = append(q.rot[:0], ready...)
-	out := ready[:0]
-	for k := 0; k < n; k++ {
-		t := (first + k) % n
-		for _, u := range q.rot {
-			if u.Thread == t {
-				out = append(out, u)
-			}
-		}
-	}
 }
 
 // DrainThread removes and returns every entry belonging to thread t
@@ -422,19 +425,16 @@ func (q *Queue) rotateOrder(ready []*uop.UOp, tick int64) {
 func (q *Queue) DrainThread(t int) []*uop.UOp {
 	var out []*uop.UOp
 	kept := q.entries[:0]
-	for _, u := range q.entries {
+	for _, id := range q.entries {
+		u := q.bank.Get(id)
 		if u.Thread == t {
 			q.used[u.IQClass]--
 			q.detach(u)
 			out = append(out, u)
 		} else {
 			u.IQSlot = int32(len(kept))
-			kept = append(kept, u)
+			kept = append(kept, id)
 		}
-	}
-	// Clear the tail so drained pointers are not retained.
-	for i := len(kept); i < len(q.entries); i++ {
-		q.entries[i] = nil
 	}
 	q.entries = kept
 	q.perThread[t] = 0
@@ -447,6 +447,15 @@ func (q *Queue) DrainThread(t int) []*uop.UOp {
 func (q *Queue) Sample() {
 	q.occupancySum += uint64(len(q.entries))
 	q.samples++
+}
+
+// SampleIdle accumulates k occupancy observations at the current
+// occupancy in one step — the sampling the pipeline's quiescent-cycle
+// fast-forward owes for k skipped cycles, during which occupancy cannot
+// change.
+func (q *Queue) SampleIdle(k int64) {
+	q.occupancySum += uint64(k) * uint64(len(q.entries))
+	q.samples += uint64(k)
 }
 
 // ResetStats clears the sampling counters without touching queue
@@ -465,8 +474,8 @@ func (q *Queue) MeanOccupancy() float64 {
 
 // ForEach visits all entries in arbitrary order.
 func (q *Queue) ForEach(fn func(*uop.UOp)) {
-	for _, u := range q.entries {
-		fn(u)
+	for _, id := range q.entries {
+		fn(q.bank.Get(id))
 	}
 }
 
@@ -478,17 +487,15 @@ func (q *Queue) ReadyLen() int { return len(q.ready) }
 // match the entries), back-index integrity, entry-class sufficiency
 // (every resident sits in an entry with enough tag comparators for its
 // current non-ready source count), and — in event-wakeup mode — that
-// every entry's not-ready counter matches a from-scratch register-file
-// poll and that the incremental ready list is exactly the age-sorted set
-// of entries whose counters reached zero. Returns an error describing
-// the first violation.
+// every entry's bank not-ready counter matches a from-scratch register-
+// file poll and that the incremental ready list is exactly the
+// age-sorted set of entries whose counters reached zero. Returns an
+// error describing the first violation.
 func (q *Queue) CheckInvariants(rf *regfile.File) error {
 	var used [NumClasses]int
 	perThread := make([]int, len(q.perThread))
-	for i, u := range q.entries {
-		if u == nil {
-			return fmt.Errorf("iq: nil entry at slot %d", i)
-		}
+	for i, id := range q.entries {
+		u := q.bank.Get(id)
 		if !u.InIQ {
 			return fmt.Errorf("iq: entry gseq=%d pc=%#x at slot %d has InIQ unset", u.GSeq, u.Inst.PC, i)
 		}
@@ -509,15 +516,16 @@ func (q *Queue) CheckInvariants(rf *regfile.File) error {
 				u.GSeq, polled, u.IQClass)
 		}
 		if q.event {
-			if int(u.NotReady) != polled {
+			counter := q.bank.NotReady[u.ID]
+			if int(counter) != polled {
 				return fmt.Errorf("iq: entry gseq=%d pc=%#x counter says %d non-ready, register file says %d",
-					u.GSeq, u.Inst.PC, u.NotReady, polled)
+					u.GSeq, u.Inst.PC, counter, polled)
 			}
-			if u.NotReady == 0 && !u.InReady {
+			if counter == 0 && !u.InReady {
 				return fmt.Errorf("iq: entry gseq=%d is ready but missing from the ready list", u.GSeq)
 			}
-			if u.NotReady > 0 && u.InReady {
-				return fmt.Errorf("iq: entry gseq=%d on the ready list with %d pending sources", u.GSeq, u.NotReady)
+			if counter > 0 && u.InReady {
+				return fmt.Errorf("iq: entry gseq=%d on the ready list with %d pending sources", u.GSeq, counter)
 			}
 		}
 	}
@@ -535,13 +543,18 @@ func (q *Queue) CheckInvariants(rf *regfile.File) error {
 		}
 	}
 	if q.event {
-		for i, u := range q.ready {
+		for i, e := range q.ready {
+			u := q.bank.Get(e.id)
 			if !u.InIQ || !u.InReady {
-				return fmt.Errorf("iq: ready list holds gseq=%d with InIQ=%t InReady=%t", u.GSeq, u.InIQ, u.InReady)
+				return fmt.Errorf("iq: ready list holds gseq=%d with InIQ=%t InReady=%t", e.seq, u.InIQ, u.InReady)
 			}
-			if i > 0 && q.ready[i-1].GSeq >= u.GSeq {
+			if u.GSeq != e.seq || int32(u.Thread) != e.thread {
+				return fmt.Errorf("iq: ready list entry %d denormalized as (seq=%d thread=%d), uop says (seq=%d thread=%d)",
+					i, e.seq, e.thread, u.GSeq, u.Thread)
+			}
+			if i > 0 && q.ready[i-1].seq >= e.seq {
 				return fmt.Errorf("iq: ready list out of age order at %d (gseq %d >= %d)",
-					i, q.ready[i-1].GSeq, u.GSeq)
+					i, q.ready[i-1].seq, e.seq)
 			}
 		}
 	} else if len(q.ready) > 0 {

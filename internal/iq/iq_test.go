@@ -8,18 +8,25 @@ import (
 	"smtsim/internal/uop"
 )
 
-// env bundles a register file and helpers for building queue entries.
+// env bundles a uop bank and register file with helpers for building
+// queue entries.
 type env struct {
-	rf  *regfile.File
-	seq uint64
+	bank *uop.Bank
+	rf   *regfile.File
+	next int32
+	seq  uint64
 }
 
-func newEnv() *env { return &env{rf: regfile.New(64, 64)} }
+func newEnv() *env { return &env{bank: uop.NewBank(64), rf: regfile.New(64, 64)} }
 
-// mkUOp builds a UOp with n non-ready sources (0..2) for thread t.
+// mkUOp builds a bank-backed UOp with n non-ready sources (0..2) for
+// thread t.
 func (e *env) mkUOp(t, nonReady int) *uop.UOp {
+	u := e.bank.Get(e.next)
+	e.next++
 	e.seq++
-	u := &uop.UOp{Thread: t, GSeq: e.seq}
+	u.Thread = t
+	u.GSeq = e.seq
 	u.Srcs[0], u.Srcs[1] = regfile.NoPhys, regfile.NoPhys
 	for i := 0; i < nonReady; i++ {
 		u.Srcs[i] = e.rf.Alloc(isa.IntReg) // allocated, not ready
@@ -32,9 +39,18 @@ func (e *env) mkUOp(t, nonReady int) *uop.UOp {
 	return u
 }
 
+// uops resolves a ready-id slice back to records for assertions.
+func (e *env) uops(ids []int32) []*uop.UOp {
+	us := make([]*uop.UOp, len(ids))
+	for i, id := range ids {
+		us[i] = e.bank.Get(id)
+	}
+	return us
+}
+
 func TestInsertRemoveOccupancy(t *testing.T) {
 	e := newEnv()
-	q := New(4, 2, 2)
+	q := New(e.bank, 4, 2, 2)
 	u := e.mkUOp(1, 1)
 	q.Insert(u, e.rf)
 	if q.Len() != 1 || q.Free() != 3 || !u.InIQ {
@@ -51,7 +67,7 @@ func TestInsertRemoveOccupancy(t *testing.T) {
 
 func TestInsertFullPanics(t *testing.T) {
 	e := newEnv()
-	q := New(1, 2, 1)
+	q := New(e.bank, 1, 2, 1)
 	q.Insert(e.mkUOp(0, 0), e.rf)
 	defer func() {
 		if recover() == nil {
@@ -63,7 +79,7 @@ func TestInsertFullPanics(t *testing.T) {
 
 func TestComparatorInvariantEnforced(t *testing.T) {
 	e := newEnv()
-	q := New(4, 1, 1) // one comparator per entry (2OP queue)
+	q := New(e.bank, 4, 1, 1) // one comparator per entry (2OP queue)
 	q.Insert(e.mkUOp(0, 1), e.rf)
 	defer func() {
 		if recover() == nil {
@@ -75,7 +91,7 @@ func TestComparatorInvariantEnforced(t *testing.T) {
 
 func TestReadyOldestFirst(t *testing.T) {
 	e := newEnv()
-	q := New(8, 2, 1)
+	q := New(e.bank, 8, 2, 1)
 	ready1 := e.mkUOp(0, 0)
 	waiting := e.mkUOp(0, 1)
 	ready2 := e.mkUOp(0, 0)
@@ -84,14 +100,14 @@ func TestReadyOldestFirst(t *testing.T) {
 	q.Insert(waiting, e.rf)
 	q.Insert(ready1, e.rf)
 
-	got := q.ReadyOldestFirst(e.rf, nil)
+	got := e.uops(q.ReadyOldestFirst(e.rf, nil))
 	if len(got) != 2 || got[0] != ready1 || got[1] != ready2 {
 		t.Fatalf("ready set wrong: %v", got)
 	}
 
 	// Wake the waiter: it must appear, ordered by age.
 	e.rf.SetReady(waiting.Srcs[0])
-	got = q.ReadyOldestFirst(e.rf, got)
+	got = e.uops(q.ReadyOldestFirst(e.rf, nil))
 	if len(got) != 3 || got[1] != waiting {
 		t.Fatalf("woken instruction misplaced: %v", got)
 	}
@@ -99,7 +115,7 @@ func TestReadyOldestFirst(t *testing.T) {
 
 func TestDrainThread(t *testing.T) {
 	e := newEnv()
-	q := New(8, 2, 2)
+	q := New(e.bank, 8, 2, 2)
 	a0 := e.mkUOp(0, 0)
 	b0 := e.mkUOp(1, 0)
 	a1 := e.mkUOp(0, 1)
@@ -122,7 +138,7 @@ func TestDrainThread(t *testing.T) {
 
 func TestRemoveAbsentPanics(t *testing.T) {
 	e := newEnv()
-	q := New(4, 2, 1)
+	q := New(e.bank, 4, 2, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("remove of absent entry did not panic")
@@ -133,7 +149,7 @@ func TestRemoveAbsentPanics(t *testing.T) {
 
 func TestOccupancySampling(t *testing.T) {
 	e := newEnv()
-	q := New(4, 2, 1)
+	q := New(e.bank, 4, 2, 1)
 	q.Sample() // 0
 	q.Insert(e.mkUOp(0, 0), e.rf)
 	q.Sample() // 1
@@ -149,7 +165,7 @@ func TestOccupancySampling(t *testing.T) {
 
 func TestForEach(t *testing.T) {
 	e := newEnv()
-	q := New(4, 2, 1)
+	q := New(e.bank, 4, 2, 1)
 	q.Insert(e.mkUOp(0, 0), e.rf)
 	q.Insert(e.mkUOp(0, 1), e.rf)
 	n := 0
@@ -161,7 +177,7 @@ func TestForEach(t *testing.T) {
 
 func TestThreadRotateSelect(t *testing.T) {
 	e := newEnv()
-	q := New(8, 2, 2)
+	q := New(e.bank, 8, 2, 2)
 	a0 := e.mkUOp(0, 0) // oldest overall
 	b0 := e.mkUOp(1, 0)
 	a1 := e.mkUOp(0, 0)
@@ -169,12 +185,12 @@ func TestThreadRotateSelect(t *testing.T) {
 		q.Insert(u, e.rf)
 	}
 	// tick 0: thread 0 first (age order within), then thread 1.
-	got := q.ReadyOrdered(e.rf, nil, ThreadRotate, 0)
+	got := e.uops(q.ReadyOrdered(e.rf, nil, ThreadRotate, 0))
 	if got[0] != a0 || got[1] != a1 || got[2] != b0 {
 		t.Errorf("tick 0 order wrong: %v", got)
 	}
 	// tick 1: thread 1 first.
-	got = q.ReadyOrdered(e.rf, nil, ThreadRotate, 1)
+	got = e.uops(q.ReadyOrdered(e.rf, nil, ThreadRotate, 1))
 	if got[0] != b0 || got[1] != a0 {
 		t.Errorf("tick 1 order wrong: %v", got)
 	}

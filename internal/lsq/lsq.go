@@ -7,27 +7,43 @@
 // stores to different addresses, must wait for an older same-address
 // store whose data is not yet produced, and forwards from an older
 // same-address store whose data is ready.
+//
+// The queue is structure-of-arrays: per slot it stores the uop's dense
+// id and a packed tag (the 8-byte-aligned address with the store kind in
+// bit 0, which address alignment leaves free). The disambiguation scan
+// is then a single-array compare against `line8(addr)|1` — an entry
+// matches only if it is a store to the same granule — touching the full
+// uop record just for the rare matching store's Completed bit.
 package lsq
 
 import "smtsim/internal/uop"
 
 // LSQ is one thread's load/store queue, a ring buffer in program order.
 type LSQ struct {
-	buf  []*uop.UOp
-	head int
-	size int
+	bank   *uop.Bank
+	id     []int32
+	tag    []uint64 // line8(addr) | storeBit
+	head   int
+	size   int
+	stores int // store entries in the queue (completed or not)
 }
 
-// New builds a queue with the given capacity.
-func New(capacity int) *LSQ {
+const storeBit = 1
+
+// New builds a queue of the given capacity over the core's uop bank.
+func New(bank *uop.Bank, capacity int) *LSQ {
 	if capacity <= 0 {
 		panic("lsq: capacity must be positive")
 	}
-	return &LSQ{buf: make([]*uop.UOp, capacity)}
+	return &LSQ{
+		bank: bank,
+		id:   make([]int32, capacity),
+		tag:  make([]uint64, capacity),
+	}
 }
 
 // Cap returns the capacity.
-func (q *LSQ) Cap() int { return len(q.buf) }
+func (q *LSQ) Cap() int { return len(q.id) }
 
 // Len returns the number of occupied entries.
 func (q *LSQ) Len() int { return q.size }
@@ -35,16 +51,29 @@ func (q *LSQ) Len() int { return q.size }
 // CanAlloc reports whether n more entries fit.
 //
 //smt:hotpath
-func (q *LSQ) CanAlloc(n int) bool { return q.size+n <= len(q.buf) }
+func (q *LSQ) CanAlloc(n int) bool { return q.size+n <= len(q.id) }
 
-// Alloc appends a memory operation in program order at rename time.
+// Alloc appends a memory operation in program order at rename time and
+// records its ring slot in u.LSQSlot (so CheckLoad can scan only the
+// strictly older entries).
 //
 //smt:hotpath
 func (q *LSQ) Alloc(u *uop.UOp) {
-	if q.size == len(q.buf) {
+	if q.size == len(q.id) {
 		panic("lsq: overflow")
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = u
+	slot := q.head + q.size
+	if slot >= len(q.id) {
+		slot -= len(q.id)
+	}
+	tag := line8(u.Inst.Addr)
+	if u.IsStore() {
+		tag |= storeBit
+		q.stores++
+	}
+	q.id[slot] = u.ID
+	q.tag[slot] = tag
+	u.LSQSlot = int32(slot)
 	q.size++
 }
 
@@ -53,11 +82,17 @@ func (q *LSQ) Alloc(u *uop.UOp) {
 //
 //smt:hotpath
 func (q *LSQ) Release(u *uop.UOp) {
-	if q.size == 0 || q.buf[q.head] != u {
+	if q.size == 0 || q.id[q.head] != u.ID {
 		panic("lsq: release out of order")
 	}
-	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	if q.tag[q.head]&storeBit != 0 {
+		q.stores--
+	}
+	u.LSQSlot = -1
+	q.head++
+	if q.head == len(q.id) {
+		q.head = 0
+	}
 	q.size--
 }
 
@@ -65,11 +100,18 @@ func (q *LSQ) Release(u *uop.UOp) {
 // the tail (selective-squash path). Entries at or below gseq stay.
 func (q *LSQ) DrainYoungerThan(gseq uint64) {
 	for q.size > 0 {
-		i := (q.head + q.size - 1) % len(q.buf)
-		if q.buf[i].GSeq <= gseq {
+		slot := q.head + q.size - 1
+		if slot >= len(q.id) {
+			slot -= len(q.id)
+		}
+		u := q.bank.Get(q.id[slot])
+		if u.GSeq <= gseq {
 			return
 		}
-		q.buf[i] = nil
+		if q.tag[slot]&storeBit != 0 {
+			q.stores--
+		}
+		u.LSQSlot = -1
 		q.size--
 	}
 }
@@ -77,17 +119,25 @@ func (q *LSQ) DrainYoungerThan(gseq uint64) {
 // ForEach visits occupied entries oldest-first (invariant checks).
 func (q *LSQ) ForEach(fn func(*uop.UOp)) {
 	for i := 0; i < q.size; i++ {
-		fn(q.buf[(q.head+i)%len(q.buf)])
+		slot := q.head + i
+		if slot >= len(q.id) {
+			slot -= len(q.id)
+		}
+		fn(q.bank.Get(q.id[slot]))
 	}
 }
 
 // DrainAll empties the queue (watchdog flush path).
 func (q *LSQ) DrainAll() {
 	for q.size > 0 {
-		q.buf[q.head] = nil
-		q.head = (q.head + 1) % len(q.buf)
+		q.bank.Get(q.id[q.head]).LSQSlot = -1
+		q.head++
+		if q.head == len(q.id) {
+			q.head = 0
+		}
 		q.size--
 	}
+	q.stores = 0
 }
 
 // line8 collapses an address to its naturally aligned 8-byte granule, the
@@ -112,22 +162,30 @@ const (
 	LoadBlocked
 )
 
-// CheckLoad classifies a load against the older stores in the queue.
-// Scans youngest-to-oldest among entries older than the load so the
-// nearest matching store wins (correct forwarding source).
+// CheckLoad classifies a load (which must occupy an entry) against the
+// older stores in the queue. Scans youngest-to-oldest among the entries
+// ahead of the load's own slot so the nearest matching store wins
+// (correct forwarding source).
 //
 //smt:hotpath
 func (q *LSQ) CheckLoad(ld *uop.UOp) LoadDisposition {
-	target := line8(ld.Inst.Addr)
-	for i := q.size - 1; i >= 0; i-- {
-		u := q.buf[(q.head+i)%len(q.buf)]
-		if !u.Older(ld) || !u.IsStore() {
+	if q.stores == 0 {
+		return LoadGoesToCache
+	}
+	target := line8(ld.Inst.Addr) | storeBit
+	depth := int(ld.LSQSlot) - q.head
+	if depth < 0 {
+		depth += len(q.id)
+	}
+	for i := depth - 1; i >= 0; i-- {
+		slot := q.head + i
+		if slot >= len(q.id) {
+			slot -= len(q.id)
+		}
+		if q.tag[slot] != target {
 			continue
 		}
-		if line8(u.Inst.Addr) != target {
-			continue
-		}
-		if u.Completed {
+		if q.bank.Get(q.id[slot]).Completed {
 			return LoadForwards
 		}
 		return LoadBlocked
@@ -140,8 +198,14 @@ func (q *LSQ) CheckLoad(ld *uop.UOp) LoadDisposition {
 // invariant checks).
 func (q *LSQ) OldestPendingStoreAge() (uint64, bool) {
 	for i := 0; i < q.size; i++ {
-		u := q.buf[(q.head+i)%len(q.buf)]
-		if u.IsStore() && !u.Completed {
+		slot := q.head + i
+		if slot >= len(q.id) {
+			slot -= len(q.id)
+		}
+		if q.tag[slot]&storeBit == 0 {
+			continue
+		}
+		if u := q.bank.Get(q.id[slot]); !u.Completed {
 			return u.GSeq, true
 		}
 	}

@@ -7,30 +7,51 @@ import (
 	"smtsim/internal/uop"
 )
 
-func memOp(class isa.OpClass, seq uint64, addr uint64) *uop.UOp {
-	return &uop.UOp{Inst: isa.Inst{Class: class, Addr: addr}, GSeq: seq}
+// fixture hands out bank-backed memory uops, standing in for the rename
+// stage's ROB allocation.
+type fixture struct {
+	bank *uop.Bank
+	next int32
+}
+
+func newFixture(n int) *fixture { return &fixture{bank: uop.NewBank(n)} }
+
+func (f *fixture) memOp(class isa.OpClass, seq uint64, addr uint64) *uop.UOp {
+	u := f.bank.Get(f.next)
+	f.next++
+	u.Inst = isa.Inst{Class: class, Addr: addr}
+	u.GSeq = seq
+	return u
 }
 
 func TestAllocReleaseDiscipline(t *testing.T) {
-	q := New(4)
-	a := memOp(isa.Store, 1, 0x100)
-	b := memOp(isa.Load, 2, 0x200)
+	f := newFixture(8)
+	q := New(f.bank, 4)
+	a := f.memOp(isa.Store, 1, 0x100)
+	b := f.memOp(isa.Load, 2, 0x200)
 	q.Alloc(a)
 	q.Alloc(b)
 	if q.Len() != 2 || !q.CanAlloc(2) || q.CanAlloc(3) {
 		t.Fatalf("occupancy accounting wrong: len=%d", q.Len())
+	}
+	if a.LSQSlot < 0 || b.LSQSlot < 0 {
+		t.Error("Alloc did not record LSQ slots")
 	}
 	q.Release(a)
 	q.Release(b)
 	if q.Len() != 0 {
 		t.Error("queue not empty")
 	}
+	if a.LSQSlot != -1 || b.LSQSlot != -1 {
+		t.Error("Release did not clear LSQ slots")
+	}
 }
 
 func TestReleaseOutOfOrderPanics(t *testing.T) {
-	q := New(4)
-	a := memOp(isa.Store, 1, 0x100)
-	b := memOp(isa.Load, 2, 0x200)
+	f := newFixture(8)
+	q := New(f.bank, 4)
+	a := f.memOp(isa.Store, 1, 0x100)
+	b := f.memOp(isa.Load, 2, 0x200)
 	q.Alloc(a)
 	q.Alloc(b)
 	defer func() {
@@ -42,9 +63,10 @@ func TestReleaseOutOfOrderPanics(t *testing.T) {
 }
 
 func TestLoadBlockedByPendingStore(t *testing.T) {
-	q := New(8)
-	st := memOp(isa.Store, 1, 0x1000)
-	ld := memOp(isa.Load, 2, 0x1000)
+	f := newFixture(8)
+	q := New(f.bank, 8)
+	st := f.memOp(isa.Store, 1, 0x1000)
+	ld := f.memOp(isa.Load, 2, 0x1000)
 	q.Alloc(st)
 	q.Alloc(ld)
 	if got := q.CheckLoad(ld); got != LoadBlocked {
@@ -57,9 +79,10 @@ func TestLoadBlockedByPendingStore(t *testing.T) {
 }
 
 func TestLoadBypassesDifferentAddress(t *testing.T) {
-	q := New(8)
-	st := memOp(isa.Store, 1, 0x1000)
-	ld := memOp(isa.Load, 2, 0x2000)
+	f := newFixture(8)
+	q := New(f.bank, 8)
+	st := f.memOp(isa.Store, 1, 0x1000)
+	ld := f.memOp(isa.Load, 2, 0x2000)
 	q.Alloc(st)
 	q.Alloc(ld)
 	if got := q.CheckLoad(ld); got != LoadGoesToCache {
@@ -68,9 +91,10 @@ func TestLoadBypassesDifferentAddress(t *testing.T) {
 }
 
 func TestSameGranuleConflicts(t *testing.T) {
-	q := New(8)
-	st := memOp(isa.Store, 1, 0x1000)
-	ld := memOp(isa.Load, 2, 0x1004) // same 8-byte granule
+	f := newFixture(8)
+	q := New(f.bank, 8)
+	st := f.memOp(isa.Store, 1, 0x1000)
+	ld := f.memOp(isa.Load, 2, 0x1004) // same 8-byte granule
 	q.Alloc(st)
 	q.Alloc(ld)
 	if got := q.CheckLoad(ld); got != LoadBlocked {
@@ -79,10 +103,11 @@ func TestSameGranuleConflicts(t *testing.T) {
 }
 
 func TestYoungestMatchingStoreWins(t *testing.T) {
-	q := New(8)
-	s1 := memOp(isa.Store, 1, 0x1000)
-	s2 := memOp(isa.Store, 2, 0x1000)
-	ld := memOp(isa.Load, 3, 0x1000)
+	f := newFixture(8)
+	q := New(f.bank, 8)
+	s1 := f.memOp(isa.Store, 1, 0x1000)
+	s2 := f.memOp(isa.Store, 2, 0x1000)
+	ld := f.memOp(isa.Load, 3, 0x1000)
 	q.Alloc(s1)
 	q.Alloc(s2)
 	q.Alloc(ld)
@@ -99,9 +124,10 @@ func TestYoungestMatchingStoreWins(t *testing.T) {
 }
 
 func TestYoungerStoresIgnored(t *testing.T) {
-	q := New(8)
-	ld := memOp(isa.Load, 1, 0x1000)
-	st := memOp(isa.Store, 2, 0x1000)
+	f := newFixture(8)
+	q := New(f.bank, 8)
+	ld := f.memOp(isa.Load, 1, 0x1000)
+	st := f.memOp(isa.Store, 2, 0x1000)
 	q.Alloc(ld)
 	q.Alloc(st)
 	if got := q.CheckLoad(ld); got != LoadGoesToCache {
@@ -110,12 +136,13 @@ func TestYoungerStoresIgnored(t *testing.T) {
 }
 
 func TestOldestPendingStoreAge(t *testing.T) {
-	q := New(8)
+	f := newFixture(8)
+	q := New(f.bank, 8)
 	if _, ok := q.OldestPendingStoreAge(); ok {
 		t.Error("empty queue reported a pending store")
 	}
-	s1 := memOp(isa.Store, 5, 0x1000)
-	s2 := memOp(isa.Store, 9, 0x2000)
+	s1 := f.memOp(isa.Store, 5, 0x1000)
+	s2 := f.memOp(isa.Store, 9, 0x2000)
 	q.Alloc(s1)
 	q.Alloc(s2)
 	if age, ok := q.OldestPendingStoreAge(); !ok || age != 5 {
@@ -128,26 +155,27 @@ func TestOldestPendingStoreAge(t *testing.T) {
 }
 
 func TestDrainAll(t *testing.T) {
-	q := New(4)
-	q.Alloc(memOp(isa.Store, 1, 0x100))
-	q.Alloc(memOp(isa.Load, 2, 0x200))
+	f := newFixture(8)
+	q := New(f.bank, 4)
+	q.Alloc(f.memOp(isa.Store, 1, 0x100))
+	q.Alloc(f.memOp(isa.Load, 2, 0x200))
 	q.DrainAll()
 	if q.Len() != 0 {
 		t.Error("DrainAll left entries")
 	}
 	// Queue must be reusable after a drain.
-	q.Alloc(memOp(isa.Load, 3, 0x300))
+	q.Alloc(f.memOp(isa.Load, 3, 0x300))
 	if q.Len() != 1 {
 		t.Error("queue unusable after drain")
 	}
 }
 
 func TestWrapAroundRing(t *testing.T) {
-	q := New(3)
+	f := newFixture(8)
+	q := New(f.bank, 3)
 	ops := []*uop.UOp{
-		memOp(isa.Store, 1, 0x100), memOp(isa.Store, 2, 0x200),
-		memOp(isa.Store, 3, 0x300), memOp(isa.Store, 4, 0x400),
-		memOp(isa.Store, 5, 0x500),
+		f.memOp(isa.Store, 1, 0x100), f.memOp(isa.Store, 2, 0x200),
+		f.memOp(isa.Store, 3, 0x300), f.memOp(isa.Store, 4, 0x400),
 	}
 	q.Alloc(ops[0])
 	q.Alloc(ops[1])
@@ -155,7 +183,7 @@ func TestWrapAroundRing(t *testing.T) {
 	q.Alloc(ops[2])
 	q.Release(ops[1])
 	q.Alloc(ops[3]) // wraps
-	ld := memOp(isa.Load, 6, 0x400)
+	ld := f.memOp(isa.Load, 6, 0x400)
 	q.Alloc(ld)
 	if got := q.CheckLoad(ld); got != LoadBlocked {
 		t.Errorf("wrapped store not seen by disambiguation: %v", got)

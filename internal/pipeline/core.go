@@ -79,30 +79,38 @@ type threadState struct {
 //smt:hotpath
 func (ts *threadState) fetchQFull() bool { return ts.qLen == len(ts.fetchQ) }
 
+// fetchQPushSlot claims the next tail slot and returns it for in-place
+// filling: the caller must set every field (slots are not zeroed between
+// uses). Filling in place keeps the ~10-word fetchEntry from being
+// copied twice per fetched instruction.
+//
 //smt:hotpath
-func (ts *threadState) fetchQPush(e fetchEntry) {
+func (ts *threadState) fetchQPushSlot() *fetchEntry {
 	if ts.fetchQFull() {
 		panic("pipeline: fetch queue overflow")
 	}
-	ts.fetchQ[(ts.qHead+ts.qLen)%len(ts.fetchQ)] = e
+	e := &ts.fetchQ[(ts.qHead+ts.qLen)%len(ts.fetchQ)]
 	ts.qLen++
+	return e
 }
 
+// fetchQPeek returns the head entry in place (nil when empty); the
+// pointer is valid until the next fetchQPop.
+//
 //smt:hotpath
-func (ts *threadState) fetchQPeek() (fetchEntry, bool) {
+func (ts *threadState) fetchQPeek() *fetchEntry {
 	if ts.qLen == 0 {
-		return fetchEntry{}, false
+		return nil
 	}
-	return ts.fetchQ[ts.qHead], true
+	return &ts.fetchQ[ts.qHead]
 }
 
 //smt:hotpath
-func (ts *threadState) fetchQPop() fetchEntry {
-	e := ts.fetchQ[ts.qHead]
-	ts.fetchQ[ts.qHead] = fetchEntry{}
+func (ts *threadState) fetchQPop() {
+	// The vacated slot is left as-is (no pointers to release; the next
+	// push overwrites every field).
 	ts.qHead = (ts.qHead + 1) % len(ts.fetchQ)
 	ts.qLen--
-	return e
 }
 
 // nextInst supplies the next instruction to fetch: a block-miss leftover
@@ -131,6 +139,11 @@ type Core struct {
 	cycle    int64
 	gseq     uint64
 
+	// bank owns every in-flight uop record (structure-of-arrays, one
+	// slot per ROB entry); the per-thread ROBs are windows into it and
+	// every cycle-path structure below refers to records by dense id.
+	bank *uop.Bank
+
 	rf    *regfile.File
 	rats  []*rename.Table
 	robs  []*rob.ROB
@@ -144,9 +157,9 @@ type Core struct {
 	sel   *fetch.Selector
 	wdog  *core.Watchdog
 
-	threads []*threadState
-	events  eventQueue
-	scratch []*uop.UOp
+	threads []threadState
+	events  eventWheel
+	scratch []int32
 
 	// san, when non-nil, re-validates the machine's structural
 	// invariants after every cycle (Config.Sanitize, or any run inside
@@ -157,14 +170,8 @@ type Core struct {
 	sanPanic bool
 
 	// eventWakeup mirrors !cfg.PollingWakeup: writeback broadcasts to
-	// per-register consumer lists instead of the scheduler re-polling.
+	// per-register consumer bitmaps instead of the scheduler re-polling.
 	eventWakeup bool
-	// pool recycles UOp records: commit and the flush paths return
-	// retired/squashed UOps here and rename reuses them, eliminating the
-	// one-allocation-per-instruction cost on the hot path. Stale
-	// references to a recycled UOp (completion events, consumer-list
-	// entries) identify themselves by GSeq mismatch.
-	pool []*uop.UOp
 	// runnableFn/icountFn are the fetch-policy callbacks, built once so
 	// fetch() does not allocate two closures every cycle.
 	runnableFn func(int) bool
@@ -173,6 +180,25 @@ type Core struct {
 	commitRR, renameRR int
 	lastCommitCycle    int64
 	onCommit           func(*uop.UOp)
+
+	// dispFrozen records that the dispatcher's last Run dispatched
+	// nothing and none of its inputs (buffers, readiness counters, IQ
+	// and DAB occupancy, ROB heads) changed since: the next dispatch
+	// cycle would rescan identical state to the identical outcome, so
+	// stepCycle replays its accounting instead (event-wakeup mode only;
+	// the polling path stays a plain per-cycle loop as the differential
+	// reference).
+	dispFrozen bool
+
+	// commitable is a per-thread bitmask meaning "this thread's ROB head
+	// may be completed": writeback sets a thread's bit when it completes
+	// the head, commit clears it when its in-order scan stops on an
+	// absent or incomplete head (a budget-bounded stop keeps it set).
+	// When commitSkip is enabled (event mode, ≤64 threads) commit skips
+	// clear threads without touching their ROB; polling mode always
+	// scans, so the mask is maintained but never consulted.
+	commitable uint64
+	commitSkip bool
 
 	// Statistics baselines, set by Warmup so measurement excludes the
 	// initialization period (the paper skips initialization with
@@ -197,31 +223,42 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 	if err := cfg.Validate(n); err != nil {
 		return nil, err
 	}
+	// One bank slot per ROB entry across all threads: ROB slot = uop id.
+	bank := uop.NewBank(n * cfg.ROBPerThread)
 	c := &Core{
 		cfg:      cfg,
 		nthreads: n,
 		// Rename sequence numbers start at one so a reset UOp's zero GSeq
 		// never matches a live token (see uop.Reset).
 		gseq:    1,
+		bank:    bank,
 		rf:      regfile.New(cfg.IntRegs, cfg.FpRegs),
-		q:       iq.NewPartitioned(cfg.queuePartition(), n),
-		disp:    core.NewDispatcher(cfg.Policy, cfg.Width, cfg.DispatchBufCap, n),
+		q:       iq.NewPartitioned(bank, cfg.queuePartition(), n),
+		disp:    core.NewDispatcher(bank, cfg.Policy, cfg.Width, cfg.DispatchBufCap, n),
 		fus:     fu.MustNew(fu.DefaultConfig()),
 		hier:    cfg.Hierarchy,
 		btb:     bpred.NewBTB(2048, 2),
 		sel:     fetch.NewSelector(cfg.FetchPolicy, n),
-		scratch: make([]*uop.UOp, 0, cfg.IQSize),
+		scratch: make([]int32, 0, cfg.IQSize),
+		events:  newEventWheel(defaultEventHorizon),
 	}
 	if c.hier == nil {
 		c.hier = cache.DefaultHierarchy()
 	}
 	c.eventWakeup = !cfg.PollingWakeup
+	c.commitSkip = c.eventWakeup && n <= 64
 	if c.eventWakeup {
 		c.q.SetEventWakeup(true)
 		c.disp.SetEventWakeup(true)
+		// Wire the tag-broadcast sink: SetReady decrements the bank's
+		// not-ready counters through the consumer bitmaps and notifies
+		// the scheduler when an operand count reaches zero.
+		c.rf.AttachWakeup(bank.Cap(), bank.NotReady, func(id int32) {
+			c.q.UOpReady(bank.Get(id))
+		})
 	}
 	c.runnableFn = func(t int) bool {
-		ts := c.threads[t]
+		ts := &c.threads[t]
 		return ts.blocked <= c.cycle && !ts.fetchQFull() && c.gateAllows(t)
 	}
 	c.icountFn = func(t int) int {
@@ -242,10 +279,10 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 			return nil, fmt.Errorf("pipeline: thread %q has nil trace", s.Name)
 		}
 		c.rats = append(c.rats, rename.New(c.rf))
-		c.robs = append(c.robs, rob.New(cfg.ROBPerThread))
-		c.lsqs = append(c.lsqs, lsq.New(cfg.LSQPerThread))
+		c.robs = append(c.robs, rob.New(bank, int32(len(c.robs)*cfg.ROBPerThread), cfg.ROBPerThread))
+		c.lsqs = append(c.lsqs, lsq.New(bank, cfg.LSQPerThread))
 		c.preds = append(c.preds, bpred.New(c.btb))
-		c.threads = append(c.threads, &threadState{
+		c.threads = append(c.threads, threadState{
 			name:   s.Name,
 			stream: s.Reader,
 			fetchQ: make([]fetchEntry, cfg.FetchQueueCap),
@@ -255,6 +292,7 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 	if cfg.Sanitize || testSanitize {
 		c.san = simsan.New(simsan.Machine{
 			EventWakeup: c.eventWakeup,
+			Bank:        c.bank,
 			RF:          c.rf,
 			IQ:          c.q,
 			Disp:        c.disp,
@@ -286,6 +324,17 @@ func (c *Core) SanitizerError() error { return c.sanErr }
 // sanitize runs the end-of-cycle invariant sweep.
 func (c *Core) sanitize() {
 	err := c.san.CheckCycle(c.cycle)
+	if err == nil && c.commitSkip {
+		// The commit-skip mask must never hide a committable head: a
+		// clear bit asserts the thread's ROB head is absent or
+		// incomplete.
+		for t := range c.robs {
+			if u := c.robs[t].Head(); u != nil && u.Completed && c.commitable&(1<<uint(t)) == 0 {
+				err = fmt.Errorf("pipeline: cycle %d: thread %d has a completed ROB head but a clear commit-skip bit", c.cycle, t)
+				break
+			}
+		}
+	}
 	if err == nil {
 		return
 	}
@@ -307,8 +356,8 @@ func (c *Core) Committed(t int) uint64 { return c.threads[t].committed }
 // core's threads — the quantity the paper's stopping rule tests.
 func (c *Core) MaxCommitted() uint64 {
 	var max uint64
-	for t, ts := range c.threads {
-		if n := ts.committed - c.commitBase[t]; n > max {
+	for t := range c.threads {
+		if n := c.threads[t].committed - c.commitBase[t]; n > max {
 			max = n
 		}
 	}
@@ -333,8 +382,8 @@ func (c *Core) ROB(t int) *rob.ROB { return c.robs[t] }
 
 // SetCommitHook installs fn to observe every committed instruction in
 // commit order. Intended for instrumentation and tests; fn must not
-// mutate the UOp, and must not retain it — the record is recycled into
-// the rename pool the moment fn returns.
+// mutate the UOp, and must not retain it — the record's bank slot is
+// recycled by a later rename.
 func (c *Core) SetCommitHook(fn func(*uop.UOp)) { c.onCommit = fn }
 
 // ErrDeadlock is returned (wrapped) when the safety net detects that no
@@ -371,8 +420,8 @@ func (c *Core) Warmup(n uint64) error {
 	c.insertsBase = c.q.Inserts
 	c.dabBase = c.disp.DAB().Inserts
 	c.statsCycleBase = c.cycle
-	for t, ts := range c.threads {
-		c.commitBase[t] = ts.committed
+	for t := range c.threads {
+		c.commitBase[t] = c.threads[t].committed
 	}
 	return nil
 }
@@ -394,12 +443,12 @@ func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
 		stallLimit = 100_000
 	}
 	for {
-		c.Step()
+		quiet := c.stepCycle()
 		if c.sanErr != nil {
 			return c.Results(), fmt.Errorf("pipeline: invariant violation: %w", c.sanErr)
 		}
-		for t, ts := range c.threads {
-			if ts.committed-c.commitBase[t] >= maxCommit {
+		for t := range c.threads {
+			if c.threads[t].committed-c.commitBase[t] >= maxCommit {
 				return c.Results(), nil
 			}
 		}
@@ -411,6 +460,15 @@ func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
 			return c.Results(), fmt.Errorf("pipeline: cycle cap %d reached with %d committed",
 				maxCycles, c.totalCommitted())
 		}
+		if quiet && c.eventWakeup {
+			// Bound the jump so the deadlock and cycle-cap checks above
+			// still fire at exactly the cycle a plain loop reaches them.
+			limit := c.lastCommitCycle + stallLimit + 1
+			if maxCycles < limit {
+				limit = maxCycles
+			}
+			c.fastForward(limit)
+		}
 	}
 }
 
@@ -418,31 +476,129 @@ func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
 // stage observes the previous cycle's state of its upstream neighbor.
 //
 //smt:hotpath
-func (c *Core) Step() {
+func (c *Core) Step() { c.stepCycle() }
+
+// stepCycle is Step, additionally reporting whether the cycle was
+// quiescent: no completion drained, nothing committed, issued,
+// dispatched or renamed, no watchdog flush, and no thread eligible to
+// fetch. Run uses a quiescent cycle as the fast-forward trigger (see
+// fastForward).
+//
+//smt:hotpath
+func (c *Core) stepCycle() bool {
 	c.cycle++
-	c.writeback()
-	c.commit()
-	c.issue()
-	dispatched := c.disp.Run(c.cycle, c.q, c.rf, c.robs)
+	popped := c.writeback()
+	committed := c.commit()
+	issued := c.issue()
+	dispatched := 0
+	if c.dispFrozen && popped == 0 && committed == 0 && issued == 0 {
+		c.disp.ReplayIdle(1)
+	} else {
+		dispatched = c.disp.Run(c.cycle, c.q, c.rf, c.robs)
+	}
+	fired := false
 	if c.wdog != nil && c.wdog.Tick(dispatched > 0) {
 		c.flushAll()
+		fired = true
 	}
-	c.rename()
-	c.fetch()
+	renamed := c.rename()
+	// The stages that feed dispatch and ran after it this cycle (flush,
+	// rename) unfreeze it; writeback/commit/issue run before dispatch
+	// next cycle and are checked there.
+	c.dispFrozen = c.eventWakeup && dispatched == 0 && !fired && renamed == 0
+	fetchable := c.fetch()
 	c.q.Sample()
 	if c.san != nil {
 		c.sanitize()
 	}
+	return popped == 0 && committed == 0 && issued == 0 && dispatched == 0 &&
+		!fired && renamed == 0 && !fetchable
+}
+
+// fastForward runs after a quiescent cycle: with no due completions, an
+// empty ready list and DAB, no completed ROB head, and no thread able to
+// fetch or rename, every following cycle is an exact replay of the one
+// just executed until some stimulus arrives — the next completion event,
+// a fetch-block or redirect expiry, a fetch-queue head reaching its
+// rename-ready cycle, or the watchdog expiry. The machine therefore
+// jumps to the cycle before the earliest stimulus (also bounded by
+// `limit`, the caller's deadlock/cycle-cap deadline) and replays the
+// skipped cycles' only state: the occupancy sample, the dispatcher's
+// stall accounting, the watchdog countdown, and the four round-robin
+// rotations. Event-wakeup mode only — the polling path stays a plain
+// cycle loop so the differential tests compare against an independent
+// reference.
+//
+//smt:hotpath
+func (c *Core) fastForward(limit int64) {
+	if c.disp.DAB().Len() != 0 || c.q.ReadyLen() != 0 {
+		// A waiting instruction retries issue every cycle against
+		// time-dependent conditions (FU frees, LSQ stores, MSHRs).
+		return
+	}
+	for _, r := range c.robs {
+		if u := r.Head(); u != nil && u.Completed {
+			return // commit stopped on budget, not on completion
+		}
+	}
+	next := limit
+	if due, ok := c.events.nextDue(c.cycle); ok && due < next {
+		next = due
+	}
+	if c.wdog != nil {
+		if fire := c.cycle + c.wdog.Remaining(); fire < next {
+			next = fire
+		}
+	}
+	for t := range c.threads {
+		ts := &c.threads[t]
+		if ts.blocked > c.cycle && ts.blocked < next {
+			next = ts.blocked
+		}
+		if ts.qLen > 0 {
+			if ra := ts.fetchQ[ts.qHead].readyAt; ra > c.cycle && ra < next {
+				next = ra
+			}
+		}
+	}
+	k := next - 1 - c.cycle
+	if k <= 0 {
+		return
+	}
+	c.cycle += k
+	c.q.SampleIdle(k)
+	c.disp.ReplayIdle(k)
+	if c.wdog != nil {
+		c.wdog.SkipIdle(k)
+	}
+	kt := int(k % int64(c.nthreads))
+	c.commitRR = (c.commitRR + kt) % c.nthreads
+	c.renameRR = (c.renameRR + kt) % c.nthreads
+	c.sel.SkipIdle(k)
 }
 
 // writeback drains due completion events: results become visible to the
-// scheduler and the instructions commit-eligible.
+// scheduler and the instructions commit-eligible. Returns the number of
+// events drained (stale ones included — they mutate the wheel).
 //
 //smt:hotpath
-func (c *Core) writeback() {
-	for u := c.events.popDue(c.cycle); u != nil; u = c.events.popDue(c.cycle) {
+func (c *Core) writeback() int {
+	popped := 0
+	for {
+		id, seq, ok := c.events.popDue(c.cycle)
+		if !ok {
+			break
+		}
+		popped++
+		u := c.bank.Get(id)
+		if u.Squashed || u.GSeq != seq {
+			continue // annulled by a flush, or the slot was recycled
+		}
 		u.Completed = true
 		u.CompletedAt = c.cycle
+		if c.robs[u.Thread].Head() == u {
+			c.commitable |= 1 << uint(u.Thread)
+		}
 		c.rf.SetReady(u.Dest)
 		if u.Dest.Valid() {
 			c.broadcasts++ // one wakeup-bus tag broadcast
@@ -457,6 +613,7 @@ func (c *Core) writeback() {
 			c.threads[u.Thread].blocked = c.cycle + c.cfg.RedirectPenalty
 		}
 	}
+	return popped
 }
 
 // commit retires completed instructions in program order per thread, up
@@ -464,15 +621,20 @@ func (c *Core) writeback() {
 // fairness.
 //
 //smt:hotpath
-func (c *Core) commit() {
+func (c *Core) commit() int {
+	committed := 0
 	budget := c.cfg.Width
 	start := c.commitRR
 	c.commitRR = (c.commitRR + 1) % c.nthreads
 	for i := 0; i < c.nthreads && budget > 0; i++ {
 		t := (start + i) % c.nthreads
+		if c.commitSkip && c.commitable&(1<<uint(t)) == 0 {
+			continue
+		}
 		for budget > 0 {
 			u := c.robs[t].Head()
 			if u == nil || !u.Completed {
+				c.commitable &^= 1 << uint(t)
 				break
 			}
 			c.robs[t].PopHead()
@@ -488,10 +650,11 @@ func (c *Core) commit() {
 			if c.onCommit != nil {
 				c.onCommit(u)
 			}
-			c.freeUOp(u)
 			budget--
+			committed++
 		}
 	}
+	return committed
 }
 
 // issue selects up to width ready instructions. Instructions in the
@@ -499,35 +662,44 @@ func (c *Core) commit() {
 // IQ selection is disabled (the paper's evaluated arbitration).
 //
 //smt:hotpath
-func (c *Core) issue() {
+func (c *Core) issue() int {
+	issued := 0
 	budget := c.cfg.Width
 	dab := c.disp.DAB()
 	if dab.Len() > 0 {
 		c.scratch = append(c.scratch[:0], dab.Entries()...)
-		for _, u := range c.scratch {
+		for _, id := range c.scratch {
 			if budget == 0 {
 				break
 			}
+			u := c.bank.Get(id)
 			if !c.fus.TryIssue(u.Inst.Class, c.cycle) {
 				continue
 			}
 			dab.Remove(u)
-			c.issueUOp(u, false)
+			ld := lsq.LoadGoesToCache
+			if u.IsLoad() {
+				ld = c.lsqs[u.Thread].CheckLoad(u)
+			}
+			c.issueUOp(u, false, ld)
 			budget--
+			issued++
 		}
-		return
+		return issued
 	}
-	for _, u := range c.q.ReadyOrdered(c.rf, c.scratch, c.cfg.Select, c.cycle) {
+	for _, id := range c.q.ReadyOrdered(c.rf, c.scratch, c.cfg.Select, c.cycle) {
 		if budget == 0 {
 			break
 		}
+		u := c.bank.Get(id)
 		if !u.InIQ || u.Squashed {
 			// A gate flush triggered by an earlier issue this cycle
 			// removed this instruction from the queue.
 			continue
 		}
+		ld := lsq.LoadGoesToCache
 		if u.IsLoad() {
-			if c.lsqs[u.Thread].CheckLoad(u) == lsq.LoadBlocked {
+			if ld = c.lsqs[u.Thread].CheckLoad(u); ld == lsq.LoadBlocked {
 				continue // older same-address store data not yet produced
 			}
 			if c.cfg.MSHRs > 0 && c.inFlightMisses >= c.cfg.MSHRs &&
@@ -540,18 +712,23 @@ func (c *Core) issue() {
 			continue
 		}
 		c.q.Remove(u)
-		c.issueUOp(u, true)
+		c.issueUOp(u, true, ld)
 		budget--
+		issued++
 	}
+	return issued
 }
 
 // issueUOp starts execution: the result (and wakeup of dependents) is
 // scheduled at issue + latency, which lets single-cycle dependents issue
 // back to back; loads add the cache hierarchy's miss penalty unless they
-// forward from an older store.
+// forward from an older store. ld is the caller's already-computed LSQ
+// disposition for loads (callers check it anyway, so recomputing the
+// store scan here would double the per-issue LSQ cost); it is ignored
+// for non-loads.
 //
 //smt:hotpath
-func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
+func (c *Core) issueUOp(u *uop.UOp, fromIQ bool, ld lsq.LoadDisposition) {
 	u.Issued = true
 	u.IssuedAt = c.cycle
 	if fromIQ {
@@ -561,7 +738,7 @@ func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
 		c.dabIssues++
 	}
 	lat := int64(isa.Latency[u.Inst.Class])
-	if u.IsLoad() && c.lsqs[u.Thread].CheckLoad(u) != lsq.LoadForwards {
+	if u.IsLoad() && ld != lsq.LoadForwards {
 		extra := c.hier.LoadLatencyExtra(u.Inst.Addr)
 		lat += int64(extra)
 		c.noteLoadIssue(u, extra)
@@ -569,7 +746,7 @@ func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
 	if lat < 1 {
 		lat = 1
 	}
-	c.events.schedule(c.cycle+lat, u)
+	c.events.schedule(c.cycle, c.cycle+lat, u.GSeq, u.ID)
 }
 
 // rename consumes front-end entries in program order per thread: operands
@@ -578,83 +755,94 @@ func (c *Core) issueUOp(u *uop.UOp, fromIQ bool) {
 // its thread's dispatch buffer.
 //
 //smt:hotpath
-func (c *Core) rename() {
+func (c *Core) rename() int {
+	renamed := 0
 	budget := c.cfg.Width
 	start := c.renameRR
 	c.renameRR = (c.renameRR + 1) % c.nthreads
 	for i := 0; i < c.nthreads && budget > 0; i++ {
 		t := (start + i) % c.nthreads
-		ts := c.threads[t]
+		ts := &c.threads[t]
 		for budget > 0 {
-			e, ok := ts.fetchQPeek()
-			if !ok || e.readyAt > c.cycle {
+			e := ts.fetchQPeek()
+			if e == nil || e.readyAt > c.cycle {
 				break
 			}
 			if !c.disp.Buffer(t).CanPush() || !c.robs[t].CanAlloc(1) {
 				break
 			}
-			in := e.inst
-			if in.Class.IsMem() && !c.lsqs[t].CanAlloc(1) {
+			isMem := e.inst.Class.IsMem()
+			if isMem && !c.lsqs[t].CanAlloc(1) {
 				break
 			}
-			if in.HasDest() && !c.rf.CanAlloc(in.Dest.Class, 1) {
+			if e.inst.HasDest() && !c.rf.CanAlloc(e.inst.Dest.Class, 1) {
 				break
 			}
-			ts.fetchQPop()
-			u := c.newUOp()
-			u.Inst = in
+			// The ROB slot is the uop's identity: allocating the entry
+			// hands back the freshly reset record to fill. Inst is copied
+			// straight from the fetch-queue slot — exactly once.
+			u := c.robs[t].Alloc()
+			u.Inst = e.inst
 			u.Thread = t
 			u.GSeq = c.gseq
 			u.RenamedAt = c.cycle
 			u.PredTaken = e.predTaken
 			u.PredTarget = e.predTarget
 			u.Mispred = e.mispred
+			ts.fetchQPop()
 			c.gseq++
 			c.rats[t].Rename(u)
 			if c.eventWakeup {
-				// Subscribe to each pending source's consumer list; the
+				// Subscribe to each pending source's consumer bitmap; the
 				// counter equals NumSrcNotReady at this instant and every
 				// later tag broadcast keeps it in sync.
 				nr := int8(0)
 				for _, s := range u.Srcs {
-					if c.rf.Watch(s, u, u.GSeq) {
+					if c.rf.Watch(s, u.ID) {
 						nr++
 					}
 				}
-				u.NotReady = nr
+				c.bank.NotReady[u.ID] = nr
 			}
-			c.robs[t].Alloc(u)
-			if in.Class.IsMem() {
+			if isMem {
 				c.lsqs[t].Alloc(u)
 			}
 			c.disp.Buffer(t).Push(u)
 			budget--
+			renamed++
 		}
 	}
+	return renamed
 }
 
 // fetch pulls instructions from up to FetchThreads thread traces chosen
 // by the fetch policy, up to the machine width in total. Fetch for a
 // thread breaks on a taken branch, a mispredicted branch (until
 // resolution), an I-cache miss (until the block arrives), or a full
-// fetch queue.
+// fetch queue. It reports whether any thread was eligible at all — an
+// eligible thread always mutates state (it either fetches or starts an
+// I-cache block fill), so eligibility is the fast-forward's "fetch is
+// active" signal.
 //
 //smt:hotpath
-func (c *Core) fetch() {
+func (c *Core) fetch() bool {
 	budget := c.cfg.Width
 	threadsUsed := 0
+	active := false
 	for _, t := range c.sel.Order(c.runnableFn, c.icountFn) {
 		if budget == 0 || threadsUsed == c.cfg.FetchThreads {
 			break
 		}
+		active = true
 		budget -= c.fetchThread(t, budget)
 		threadsUsed++
 	}
+	return active
 }
 
 //smt:hotpath
 func (c *Core) fetchThread(t, budget int) int {
-	ts := c.threads[t]
+	ts := &c.threads[t]
 	lineMask := ^uint64(c.hier.L1I.Config().LineSize - 1)
 	n := 0
 	for n < budget {
@@ -677,12 +865,14 @@ func (c *Core) fetchThread(t, budget int) int {
 				}
 			}
 		}
-		e := fetchEntry{inst: in, readyAt: c.cycle + c.cfg.FrontEndDelay}
+		e := ts.fetchQPushSlot()
+		e.inst = in
+		e.readyAt = c.cycle + c.cfg.FrontEndDelay
+		e.predTaken, e.predTarget, e.mispred = false, 0, false
 		if in.Class == isa.Branch {
 			pt, ptg := c.preds[t].Predict(in.PC)
 			correct := c.preds[t].Resolve(in.PC, pt, ptg, in.Taken, in.Target)
 			e.predTaken, e.predTarget, e.mispred = pt, ptg, !correct
-			ts.fetchQPush(e)
 			n++
 			if !correct {
 				// Fetch stalls until the branch resolves in execution.
@@ -696,7 +886,6 @@ func (c *Core) fetchThread(t, budget int) int {
 			}
 			continue
 		}
-		ts.fetchQPush(e)
 		n++
 	}
 	return n
@@ -708,7 +897,7 @@ func (c *Core) fetchThread(t, budget int) int {
 // squashed instructions are queued for refetch in program order.
 func (c *Core) flushAll() {
 	for t := 0; t < c.nthreads; t++ {
-		ts := c.threads[t]
+		ts := &c.threads[t]
 		c.disp.DrainThread(t)
 		c.q.DrainThread(t)
 		robUops := c.robs[t].DrainAll()
@@ -718,15 +907,16 @@ func (c *Core) flushAll() {
 		insts := make([]isa.Inst, 0, len(robUops)+ts.qLen+1+len(ts.replay))
 		for _, u := range robUops {
 			u.Squashed = true
+			c.unwatchSquashed(u)
 			if u.Dest.Valid() {
 				c.rf.Free(u.Dest)
 			}
 			c.forgetLoad(u)
 			insts = append(insts, u.Inst)
-			c.freeUOp(u)
 		}
 		for ts.qLen > 0 {
-			insts = append(insts, ts.fetchQPop().inst)
+			insts = append(insts, ts.fetchQPeek().inst)
+			ts.fetchQPop()
 		}
 		if ts.pendingValid {
 			insts = append(insts, ts.pendingInst)
@@ -738,41 +928,34 @@ func (c *Core) flushAll() {
 	}
 }
 
-// newUOp takes a reset record from the pool, or allocates one.
-//
-//smt:hotpath
-func (c *Core) newUOp() *uop.UOp {
-	if n := len(c.pool); n > 0 {
-		u := c.pool[n-1]
-		c.pool[n-1] = nil
-		c.pool = c.pool[:n-1]
-		return u
+// unwatchSquashed drops a squashed uop's pending wakeup registrations
+// from the consumer bitmaps so its bank slot can be recycled without a
+// later broadcast decrementing the new occupant's counter. Idempotent;
+// no-op under polling wakeup (nothing ever watches).
+func (c *Core) unwatchSquashed(u *uop.UOp) {
+	if !c.eventWakeup {
+		return
 	}
-	u := new(uop.UOp) //smt:allow-alloc — pool growth; amortized to zero in steady state
-	u.Reset()
-	return u
-}
-
-// freeUOp resets a retired or squashed UOp and returns it to the pool.
-// The ROB drain lists are the authoritative free sites for squashes
-// (every renamed in-flight UOp appears there exactly once); the IQ,
-// dispatch-buffer, DAB, and LSQ drains overlap them and must not free.
-//
-//smt:hotpath
-func (c *Core) freeUOp(u *uop.UOp) {
-	u.Reset()
-	c.pool = append(c.pool, u)
+	for _, s := range u.Srcs {
+		c.rf.Unwatch(s, u.ID)
+	}
 }
 
 func (c *Core) totalCommitted() uint64 {
 	var sum uint64
-	for t, ts := range c.threads {
-		sum += ts.committed - c.commitBase[t]
+	for t := range c.threads {
+		sum += c.threads[t].committed - c.commitBase[t]
 	}
 	return sum
 }
 
 // Results assembles the metrics of the run so far.
+//
+// The power accumulator (power.Events) is filled here too, but as a
+// one-shot composite literal, which statescope permits without a grant:
+// only incremental field writes need a declared stage.
+//
+//smt:stage metrics — results assembly is the single writer that fills the accumulator it returns
 func (c *Core) Results() metrics.Results {
 	cycles := c.cycle - c.statsCycleBase
 	r := metrics.Results{
@@ -783,7 +966,8 @@ func (c *Core) Results() metrics.Results {
 		r.IPC = float64(r.Committed) / float64(cycles)
 	}
 	ds := c.disp.Stats()
-	for t, ts := range c.threads {
+	for t := range c.threads {
+		ts := &c.threads[t]
 		tr := metrics.ThreadResult{
 			Benchmark:      ts.name,
 			Committed:      ts.committed - c.commitBase[t],

@@ -1,84 +1,161 @@
 package pipeline
 
-import "smtsim/internal/uop"
+import "math/bits"
 
-// completion is a scheduled writeback event: at cycle `at`, u's result is
-// produced (destination becomes ready, u becomes commit-eligible). seq
-// snapshots u.GSeq at schedule time; the pipeline recycles UOp records,
-// so a completion whose seq no longer matches its UOp belongs to a dead
-// incarnation and is dropped.
+// completion is a scheduled writeback event: at cycle `at`, the uop in
+// bank slot `id` produces its result (destination becomes ready, the
+// instruction commit-eligible). seq snapshots the uop's GSeq at schedule
+// time; the pipeline recycles bank slots, so a completion whose seq no
+// longer matches its slot's occupant belongs to a dead incarnation and
+// is dropped by the writeback stage.
 type completion struct {
 	at  int64
 	seq uint64
-	u   *uop.UOp
+	id  int32
 }
 
-// eventQueue is a min-heap of completions ordered by cycle. It is a
-// hand-rolled value-slice heap rather than container/heap: the interface
-// indirection there boxes every pushed completion, which costs one heap
-// allocation per simulated instruction on the hot path.
-type eventQueue []completion
-
-// schedule enqueues a completion (sift-up).
-//
-//smt:hotpath
-func (q *eventQueue) schedule(at int64, u *uop.UOp) {
-	h := append(*q, completion{at: at, seq: u.GSeq, u: u})
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h[parent].at <= h[i].at {
-			break
-		}
-		h[parent], h[i] = h[i], h[parent]
-		i = parent
-	}
-	*q = h
+// eventWheel is a timing wheel of completions: slot `at & mask` holds
+// the events due at cycle `at`. Execution latencies are bounded (the
+// longest is a memory-miss load), so with the wheel sized past that
+// bound each slot only ever holds events for one cycle at a time —
+// schedule and popDue are O(1) appends and pops with no heap sifting.
+// An out-of-bound latency (exotic hierarchy configuration) grows the
+// wheel instead of corrupting it.
+type eventWheel struct {
+	slots [][]completion
+	// occ is a slot-occupancy bitmap (bit s set iff slots[s] is
+	// non-empty); nextDue scans it so the quiescent-cycle fast-forward
+	// can find the next stimulus without walking empty slots.
+	occ     []uint64
+	mask    int64
+	pending int
 }
 
-// popDue removes and returns the next completion due at or before cycle,
-// or nil if none. Stale events — the UOp was squashed, or recycled into
-// a new incarnation (seq mismatch) — are discarded.
+// defaultEventHorizon covers the default latency bound: the longest ISA
+// op latency plus a full L2-miss memory access, with margin. Larger
+// configured latencies are handled by growth on first use.
+const defaultEventHorizon = 256
+
+// newEventWheel builds a wheel of at least `horizon` slots (rounded up
+// to a power of two).
+func newEventWheel(horizon int) eventWheel {
+	n := 1
+	for n < horizon {
+		n <<= 1
+	}
+	slots := make([][]completion, n)
+	for i := range slots {
+		// Pre-size each slot for a typical cycle's completions so the
+		// steady state never grows a slot's backing array.
+		slots[i] = make([]completion, 0, 8)
+	}
+	return eventWheel{
+		slots: slots,
+		occ:   make([]uint64, (n+63)/64),
+		mask:  int64(n - 1),
+	}
+}
+
+// schedule enqueues a completion due at cycle `at` (now is the current
+// cycle, needed to detect an out-of-horizon latency).
 //
 //smt:hotpath
-func (q *eventQueue) popDue(cycle int64) *uop.UOp {
-	h := *q
-	for len(h) > 0 {
-		if h[0].at > cycle {
-			*q = h
-			return nil
-		}
-		c := h[0]
-		// Pop: move the last element to the root and sift down.
-		n := len(h) - 1
-		h[0] = h[n]
-		h[n] = completion{}
-		h = h[:n]
-		i := 0
-		for {
-			l := 2*i + 1
-			if l >= n {
-				break
-			}
-			min := l
-			if r := l + 1; r < n && h[r].at < h[l].at {
-				min = r
-			}
-			if h[i].at <= h[min].at {
-				break
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-		if c.u.Squashed || c.u.GSeq != c.seq {
-			continue // annulled by a flush, or the UOp was recycled
-		}
-		*q = h
-		return c.u
+func (w *eventWheel) schedule(now, at int64, seq uint64, id int32) {
+	if at-now >= int64(len(w.slots)) {
+		w.grow(at - now + 1) //smt:allow-alloc — one-time horizon growth for exotic latency configs
 	}
-	*q = h
-	return nil
+	s := at & w.mask
+	w.slots[s] = append(w.slots[s], completion{at: at, seq: seq, id: id})
+	w.occ[s>>6] |= 1 << (uint(s) & 63)
+	w.pending++
+}
+
+// grow re-buckets every pending completion into a wheel of at least
+// `need` slots. Cold: it runs at most a handful of times per simulation,
+// only when a configured latency exceeds the current horizon.
+func (w *eventWheel) grow(need int64) {
+	n := len(w.slots)
+	for int64(n) <= need {
+		n <<= 1
+	}
+	slots := make([][]completion, n)
+	occ := make([]uint64, (n+63)/64)
+	mask := int64(n - 1)
+	for _, b := range w.slots {
+		for _, c := range b {
+			s := c.at & mask
+			slots[s] = append(slots[s], c)
+			occ[s>>6] |= 1 << (uint(s) & 63)
+		}
+	}
+	w.slots = slots
+	w.occ = occ
+	w.mask = mask
+}
+
+// popDue removes and returns one completion due at `cycle`, or ok=false
+// when that cycle's slot is empty. Events within a cycle pop in reverse
+// schedule order; end-of-writeback machine state does not depend on it
+// (see DESIGN.md §8). Staleness (squash/recycle) is the caller's check —
+// it owns the bank.
+//
+//smt:hotpath
+func (w *eventWheel) popDue(cycle int64) (id int32, seq uint64, ok bool) {
+	s := cycle & w.mask
+	b := w.slots[s]
+	n := len(b)
+	if n == 0 {
+		return 0, 0, false
+	}
+	c := b[n-1]
+	w.slots[s] = b[:n-1]
+	if n == 1 {
+		w.occ[s>>6] &^= 1 << (uint(s) & 63)
+	}
+	w.pending--
+	if c.at != cycle {
+		panic("pipeline: event wheel slot collision (latency exceeds horizon)")
+	}
+	return c.id, c.seq, true
+}
+
+// nextDue returns the due cycle of the earliest pending completion
+// strictly after `cycle`, scanning the occupancy bitmap circularly from
+// the next slot. Every pending completion is due within (cycle,
+// cycle+len(slots)] — slots strictly in the past are impossible because
+// the writeback stage drains each cycle's slot when that cycle executes
+// (the fast-forward never skips past a due event for the same reason) —
+// so the slot distance is the cycle distance.
+//
+//smt:hotpath
+func (w *eventWheel) nextDue(cycle int64) (int64, bool) {
+	if w.pending == 0 {
+		return 0, false
+	}
+	start := (cycle + 1) & w.mask
+	wi := int(start >> 6)
+	off := uint(start) & 63
+	if m := w.occ[wi] &^ ((1 << off) - 1); m != 0 {
+		s := int64(wi<<6 + bits.TrailingZeros64(m))
+		return cycle + 1 + ((s - start) & w.mask), true
+	}
+	nw := len(w.occ)
+	for j := 1; j <= nw; j++ {
+		i := wi + j
+		if i >= nw {
+			i -= nw
+		}
+		m := w.occ[i]
+		if i == wi {
+			m &= (1 << off) - 1 // wrapped: only slots before start remain
+		}
+		if m != 0 {
+			s := int64(i<<6 + bits.TrailingZeros64(m))
+			return cycle + 1 + ((s - start) & w.mask), true
+		}
+	}
+	return 0, false // unreachable: pending > 0 implies an occupied slot
 }
 
 // Len returns the number of pending completions.
-func (q eventQueue) Len() int { return len(q) }
+func (w *eventWheel) Len() int { return w.pending }

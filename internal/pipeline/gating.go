@@ -58,7 +58,7 @@ func ParseFetchGate(s string) (FetchGate, error) {
 //
 //smt:hotpath
 func (c *Core) gateAllows(t int) bool {
-	ts := c.threads[t]
+	ts := &c.threads[t]
 	switch c.cfg.FetchGate {
 	case GateStall:
 		return ts.outstandingMem == 0
@@ -79,7 +79,7 @@ func (c *Core) noteLoadIssue(u *uop.UOp, extra int) {
 	if extra <= 0 {
 		return
 	}
-	ts := c.threads[u.Thread]
+	ts := &c.threads[u.Thread]
 	u.L1DMiss = true
 	ts.outstandingL1D++
 	c.inFlightMisses++
@@ -101,7 +101,7 @@ func (c *Core) noteLoadDone(u *uop.UOp) {
 	if !u.L1DMiss {
 		return
 	}
-	ts := c.threads[u.Thread]
+	ts := &c.threads[u.Thread]
 	ts.outstandingL1D--
 	c.inFlightMisses--
 	if u.MemMiss {
@@ -128,7 +128,7 @@ func (c *Core) forgetLoad(u *uop.UOp) {
 // the watchdog's flushAll is the degenerate whole-thread case.
 func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 	t := pivot.Thread
-	ts := c.threads[t]
+	ts := &c.threads[t]
 
 	c.disp.SquashYoungerThan(t, pivot.GSeq)
 	young := c.robs[t].DrainYoungerThan(pivot.GSeq) // youngest-first
@@ -138,6 +138,7 @@ func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 	insts := make([]isa.Inst, len(young))
 	for i, u := range young {
 		u.Squashed = true
+		c.unwatchSquashed(u)
 		if u.InIQ {
 			c.q.Remove(u)
 		}
@@ -155,14 +156,14 @@ func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 			releaseBranchBlock = true
 		}
 		insts[len(young)-1-i] = u.Inst
-		c.freeUOp(u)
 	}
 	for ts.qLen > 0 {
-		e := ts.fetchQPop()
+		e := ts.fetchQPeek()
 		if e.mispred {
 			releaseBranchBlock = true
 		}
 		insts = append(insts, e.inst)
+		ts.fetchQPop()
 	}
 	if ts.pendingValid {
 		insts = append(insts, ts.pendingInst)

@@ -40,7 +40,7 @@ func sanitizedCore(t *testing.T) (*Core, *uop.UOp) {
 		c.Step()
 		var victim *uop.UOp
 		c.q.ForEach(func(u *uop.UOp) {
-			if victim == nil && u.NotReady > 0 {
+			if victim == nil && c.bank.NotReady[u.ID] > 0 {
 				victim = u
 			}
 		})
@@ -92,14 +92,14 @@ func TestSanitizerCatchesCorruption(t *testing.T) {
 			// A tag broadcast that never reached this consumer: the
 			// counter stays high while the register file says ready.
 			name:   "missed-broadcast",
-			mutate: func(c *Core, victim *uop.UOp) { victim.NotReady++ },
+			mutate: func(c *Core, victim *uop.UOp) { c.bank.NotReady[victim.ID]++ },
 			want:   []string{"counter"},
 		},
 		{
 			// A spurious wakeup: the counter reaches zero while a source
 			// operand is still outstanding.
 			name:   "spurious-wakeup",
-			mutate: func(c *Core, victim *uop.UOp) { victim.NotReady-- },
+			mutate: func(c *Core, victim *uop.UOp) { c.bank.NotReady[victim.ID]-- },
 			want:   []string{"counter"},
 		},
 		{
@@ -163,7 +163,7 @@ func findLiveDest(c *Core) *uop.UOp {
 // rather than letting the simulation drift.
 func TestSanitizerFailStopWithinOneCycle(t *testing.T) {
 	c, victim := sanitizedCore(t)
-	victim.NotReady++
+	c.bank.NotReady[victim.ID]++
 	cycleBefore := c.Cycle()
 	defer func() {
 		r := recover()
@@ -186,7 +186,7 @@ func TestSanitizerFailStopWithinOneCycle(t *testing.T) {
 func TestSanitizerErrorSurfacesThroughRun(t *testing.T) {
 	c, victim := sanitizedCore(t)
 	c.sanPanic = false // production reporting mode
-	victim.NotReady++
+	c.bank.NotReady[victim.ID]++
 	_, err := c.Run(1_000_000)
 	if err == nil || !strings.Contains(err.Error(), "invariant violation") {
 		t.Fatalf("Run returned %v, want a wrapped invariant violation", err)
@@ -194,4 +194,45 @@ func TestSanitizerErrorSurfacesThroughRun(t *testing.T) {
 	if c.SanitizerError() == nil {
 		t.Error("SanitizerError lost the violation")
 	}
+}
+
+// TestSanitizerCatchesCommitSkipCorruption targets the commit-skip mask
+// (Core.commitable): a clear bit asserts the thread's ROB head is
+// absent or incomplete, and commit trusts it without touching the ROB.
+// A machine width of one keeps completed heads queued across cycle
+// boundaries, so the test can catch a thread with a committable head,
+// forge its bit clear, and verify the per-cycle cross-check reports the
+// hidden head rather than letting commit stall silently forever.
+func TestSanitizerCatchesCommitSkipCorruption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = icore.TwoOpOOOD
+	cfg.Width = 1
+	c, err := New(cfg, []ThreadSpec{
+		{Name: "equake", Reader: benchStream(t, "equake", 3)},
+		{Name: "gcc", Reader: benchStream(t, "gcc", 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.commitSkip {
+		t.Fatal("commit-skip mask is not enabled on an event-wakeup core")
+	}
+	for cycle := 0; cycle < 50_000; cycle++ {
+		c.Step()
+		for th := range c.robs {
+			u := c.robs[th].Head()
+			if u == nil || !u.Completed || c.commitable&(1<<uint(th)) == 0 {
+				continue
+			}
+			c.commitable &^= 1 << uint(th) // forge: head hidden from commit
+			c.sanPanic = false
+			c.sanitize()
+			serr := c.SanitizerError()
+			if serr == nil || !strings.Contains(serr.Error(), "commit-skip") {
+				t.Fatalf("sanitizer returned %v, want a commit-skip mask violation", serr)
+			}
+			return
+		}
+	}
+	t.Fatal("no completed ROB head survived a cycle boundary in 50k cycles")
 }

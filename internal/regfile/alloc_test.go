@@ -1,0 +1,35 @@
+package regfile
+
+import (
+	"testing"
+
+	"smtsim/internal/isa"
+)
+
+// TestBroadcastZeroAllocs is the runtime counterpart of the
+// //smt:hotpath annotations on the bitmap-wakeup path (Watch, SetReady,
+// Free): registering consumers, broadcasting a tag to them, and
+// reclaiming the register must not allocate. The consumer bitmaps and
+// their watch-word ranges are sized once at AttachWakeup; a steady-state
+// allocation here would put a GC write barrier on every broadcast.
+func TestBroadcastZeroAllocs(t *testing.T) {
+	f := New(64, 64)
+	notReady := make([]int8, 256)
+	woken := 0
+	f.AttachWakeup(256, notReady, func(id int32) { woken++ })
+
+	if avg := testing.AllocsPerRun(10_000, func() {
+		p := f.Alloc(isa.IntReg)
+		for id := int32(0); id < 8; id++ {
+			notReady[id] = 1
+			f.Watch(p, id)
+		}
+		f.SetReady(p)
+		f.Free(p)
+	}); avg != 0 {
+		t.Errorf("watch/broadcast/free cycle allocates %.1f times per run, want 0", avg)
+	}
+	if woken == 0 {
+		t.Fatal("broadcast never fired the wakeup callback")
+	}
+}

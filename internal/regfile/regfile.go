@@ -3,10 +3,18 @@
 // with a free list and a per-register ready bit. All threads allocate from
 // the same pools, which is one of the SMT resource-sharing points the
 // paper's dispatch policies interact with.
+//
+// The wakeup CAM is a per-register consumer *bitmap* over dense uop ids
+// (ROB-slot identities): Watch sets a bit, SetReady walks the set bits
+// with bits.TrailingZeros64 and decrements the bank's not-ready counters
+// directly. Compared to the per-register []watcher lists this replaces,
+// a broadcast touches a handful of words, allocates nothing, and carries
+// no interface dispatch or GC write barriers.
 package regfile
 
 import (
 	"fmt"
+	"math/bits"
 
 	"smtsim/internal/isa"
 )
@@ -36,27 +44,29 @@ func (p PhysRef) String() string {
 	return fmt.Sprintf("p%d%s", p.Index, suffix)
 }
 
-// Consumer receives a one-shot wakeup notification when a watched
-// register becomes ready — the software analogue of a tag-broadcast CAM
-// match. token echoes the value passed to Watch, letting a consumer
-// reject notifications registered by an earlier life of the same object
-// (the pipeline recycles UOps; a stale token identifies a dead watch).
-type Consumer interface {
-	OperandReady(p PhysRef, token uint64)
-}
-
-// watcher is one pending wakeup registration.
-type watcher struct {
-	c     Consumer
-	token uint64
-}
-
 // file is one class's physical register file.
 type file struct {
 	ready     []bool
 	free      []int16 // stack of free indices
 	allocated []bool
-	watchers  [][]watcher // per-register consumer lists (wakeup CAM)
+	// cons and dup are the wakeup CAM: per register, `words` uint64s of
+	// consumer-id bits, stored flat (register r owns cons[r*words :
+	// (r+1)*words]). A set cons bit means that uop id has one pending
+	// source on this register; the matching dup bit means it has two
+	// (both renamed sources mapped to the same physical register), so a
+	// broadcast owes it two decrements. Nil until AttachWakeup.
+	cons []uint64
+	dup  []uint64
+	// watchLo/watchHi bound, per register, the word range of cons that can
+	// hold set bits: Watch widens the range, SetReady and Free walk only
+	// [lo, hi] and reset it to empty (lo = words, hi = -1). Unwatch leaves
+	// the range stale-wide, which is safe — the walk just revisits zero
+	// words. A register's watchers are the still-renamed consumers of one
+	// thread, whose dense ids live in a contiguous ROB-slot window, so the
+	// bounded walk touches a few words where the full walk touches words
+	// (bankCap/64) of mostly zeroes.
+	watchLo []int16
+	watchHi []int16
 }
 
 // File is the pair of physical register files with free lists and ready
@@ -64,6 +74,13 @@ type file struct {
 // threaded per core by design (cycle-accurate state machines do not shard).
 type File struct {
 	files [isa.NumRegClasses]file
+
+	// Wakeup sink, installed by AttachWakeup: SetReady decrements
+	// notReady[id] per pending watch and calls onZero when the counter
+	// hits zero. words is the per-register bitmap width in uint64s.
+	notReady []int8
+	onZero   func(id int32)
+	words    int
 }
 
 // New builds register files with the given number of registers per class.
@@ -76,7 +93,6 @@ func New(intRegs, fpRegs int) *File {
 			ready:     make([]bool, n),
 			free:      make([]int16, 0, n),
 			allocated: make([]bool, n),
-			watchers:  make([][]watcher, n),
 		}
 		// Free list as a stack, highest index first so low indices serve
 		// the initial architectural mappings.
@@ -85,6 +101,32 @@ func New(intRegs, fpRegs int) *File {
 		}
 	}
 	return f
+}
+
+// AttachWakeup sizes the consumer bitmaps for uop ids 0..bankCap-1 and
+// installs the broadcast sink: notReady is the uop bank's not-ready
+// counter column, and onZero fires (from inside SetReady) for each
+// watched id whose counter reaches zero. Must be called before Watch;
+// event-driven pipelines call it once at construction. Polling pipelines
+// never watch, so they may skip it.
+func (f *File) AttachWakeup(bankCap int, notReady []int8, onZero func(id int32)) {
+	if bankCap <= 0 {
+		panic("regfile: wakeup bank size must be positive")
+	}
+	f.words = (bankCap + 63) / 64
+	f.notReady = notReady
+	f.onZero = onZero
+	for c := range f.files {
+		fl := &f.files[c]
+		fl.cons = make([]uint64, len(fl.ready)*f.words)
+		fl.dup = make([]uint64, len(fl.ready)*f.words)
+		fl.watchLo = make([]int16, len(fl.ready))
+		fl.watchHi = make([]int16, len(fl.ready))
+		for i := range fl.watchLo {
+			fl.watchLo[i] = int16(f.words)
+			fl.watchHi[i] = -1
+		}
+	}
 }
 
 // Size returns the number of physical registers in a class.
@@ -141,28 +183,27 @@ func (f *File) Free(p PhysRef) {
 	// Drop pending watches without notifying: a freed register's value
 	// will never be produced, and its watchers have been squashed along
 	// with the in-flight instructions that registered them.
-	clearWatchers(&fl.watchers[p.Index])
-}
-
-// clearWatchers empties a consumer list, dropping the references while
-// keeping the backing array for reuse.
-//
-//smt:hotpath
-func clearWatchers(ws *[]watcher) {
-	for i := range *ws {
-		(*ws)[i] = watcher{}
+	if f.words != 0 {
+		base := int(p.Index) * f.words
+		for w := int(fl.watchLo[p.Index]); w <= int(fl.watchHi[p.Index]); w++ {
+			fl.cons[base+w] = 0
+			fl.dup[base+w] = 0
+		}
+		fl.watchLo[p.Index] = int16(f.words)
+		fl.watchHi[p.Index] = -1
 	}
-	*ws = (*ws)[:0]
 }
 
-// Watch registers c for a one-shot OperandReady notification when p
-// becomes ready, and reports whether a registration was made: an absent
-// or already-ready register notifies nobody (the caller observes its
-// readiness directly). Notifications fire inside SetReady, in
-// registration order.
+// Watch registers uop id for a wakeup decrement when p becomes ready,
+// and reports whether a registration was made: an absent or already-
+// ready register registers nothing (the caller observes its readiness
+// directly). A second Watch of the same (p, id) pair — a uop whose two
+// sources renamed to the same physical register — records a duplicate
+// bit, so the broadcast still owes that uop two decrements, matching
+// what per-source polling counts.
 //
 //smt:hotpath
-func (f *File) Watch(p PhysRef, c Consumer, token uint64) bool {
+func (f *File) Watch(p PhysRef, id int32) bool {
 	if !p.Valid() {
 		return false
 	}
@@ -170,17 +211,52 @@ func (f *File) Watch(p PhysRef, c Consumer, token uint64) bool {
 	if fl.ready[p.Index] {
 		return false
 	}
-	fl.watchers[p.Index] = append(fl.watchers[p.Index], watcher{c: c, token: token})
+	wo := int16(id >> 6)
+	w := int(p.Index)*f.words + int(wo)
+	bit := uint64(1) << (uint(id) & 63)
+	if fl.cons[w]&bit != 0 {
+		fl.dup[w] |= bit
+	} else {
+		fl.cons[w] |= bit
+	}
+	if wo < fl.watchLo[p.Index] {
+		fl.watchLo[p.Index] = wo
+	}
+	if wo > fl.watchHi[p.Index] {
+		fl.watchHi[p.Index] = wo
+	}
 	return true
 }
 
+// Unwatch drops any pending registrations of id on p (both the primary
+// and the duplicate bit). Squash paths call it for each still-pending
+// source of an annulled uop so the id's bank slot can be recycled
+// without a later broadcast decrementing the new occupant.
+func (f *File) Unwatch(p PhysRef, id int32) {
+	if !p.Valid() || f.words == 0 {
+		return
+	}
+	fl := &f.files[p.Class]
+	w := int(p.Index)*f.words + int(id>>6)
+	bit := uint64(1) << (uint(id) & 63)
+	fl.cons[w] &^= bit
+	fl.dup[w] &^= bit
+}
+
 // Watchers returns the number of pending wakeup registrations on p (for
-// tests and invariant checks).
+// tests and invariant checks). Duplicate registrations count twice,
+// matching the decrements a broadcast will perform.
 func (f *File) Watchers(p PhysRef) int {
-	if !p.Valid() {
+	if !p.Valid() || f.words == 0 {
 		return 0
 	}
-	return len(f.files[p.Class].watchers[p.Index])
+	fl := &f.files[p.Class]
+	base := int(p.Index) * f.words
+	n := 0
+	for w := base; w < base+f.words; w++ {
+		n += bits.OnesCount64(fl.cons[w]) + bits.OnesCount64(fl.dup[w])
+	}
+	return n
 }
 
 // Ready reports whether the register's value has been produced.
@@ -194,10 +270,14 @@ func (f *File) Ready(p PhysRef) bool {
 }
 
 // SetReady marks the register's value as produced (writeback/wakeup) and
-// broadcasts to the register's consumer list: every watcher registered
-// via Watch is notified exactly once, in registration order, and the
-// list is cleared. This is the event-driven tag broadcast — consumers
-// are told the operand exists instead of polling Ready every cycle.
+// broadcasts to the register's consumer bitmap: every watched uop id has
+// its not-ready counter decremented (twice for duplicate registrations),
+// onZero fires for each id whose counter reaches zero, and the bitmap is
+// cleared. This is the event-driven tag broadcast — consumers are told
+// the operand exists instead of polling Ready every cycle. Wakeup order
+// within a broadcast is ascending id; end-of-broadcast state does not
+// depend on it (counters are sums and the issue queue's ready list is
+// kept age-sorted on insert).
 //
 //smt:hotpath
 func (f *File) SetReady(p PhysRef) {
@@ -206,26 +286,40 @@ func (f *File) SetReady(p PhysRef) {
 	}
 	fl := &f.files[p.Class]
 	fl.ready[p.Index] = true
-	ws := fl.watchers[p.Index]
-	if len(ws) == 0 {
+	if f.words == 0 {
 		return
 	}
-	// Reset the list before notifying. Callbacks cannot re-register on
-	// this register (it is ready now, so Watch declines), which makes
-	// draining the captured slice safe.
-	fl.watchers[p.Index] = ws[:0]
-	for i := range ws {
-		w := ws[i]
-		ws[i] = watcher{}
-		w.c.OperandReady(p, w.token)
+	base := int(p.Index) * f.words
+	lo, hi := int(fl.watchLo[p.Index]), int(fl.watchHi[p.Index])
+	fl.watchLo[p.Index] = int16(f.words)
+	fl.watchHi[p.Index] = -1
+	for w := lo; w <= hi; w++ {
+		m := fl.cons[base+w]
+		if m == 0 {
+			continue
+		}
+		d := fl.dup[base+w]
+		fl.cons[base+w] = 0
+		fl.dup[base+w] = 0
+		idBase := int32(w) << 6
+		for m != 0 {
+			b := uint(bits.TrailingZeros64(m))
+			m &^= 1 << b
+			id := idBase + int32(b)
+			dec := int8(1) + int8((d>>b)&1)
+			f.notReady[id] -= dec
+			if f.notReady[id] == 0 {
+				f.onZero(id)
+			}
+		}
 	}
 }
 
 // ClearReady marks the register not-ready again (used only by rollback
 // paths in tests; normal execution sets ready exactly once per
-// allocation). The consumer list is empty at this point — SetReady
-// drained it — so consumers that still need the value must re-enqueue
-// themselves with Watch, which is how a rollback re-arms the wakeup.
+// allocation). The consumer bitmap is empty at this point — SetReady
+// cleared it — so consumers that still need the value must re-register
+// with Watch, which is how a rollback re-arms the wakeup.
 func (f *File) ClearReady(p PhysRef) {
 	if !p.Valid() {
 		return
@@ -244,16 +338,32 @@ func (f *File) Allocated(p PhysRef) bool {
 }
 
 // VisitWatchers calls fn for every pending wakeup registration across
-// both register classes. Invariant checkers use it to cross-check the
-// consumer lists against the event-maintained not-ready counters; fn
-// must not call Watch, Free, or SetReady.
-func (f *File) VisitWatchers(fn func(p PhysRef, c Consumer, token uint64)) {
+// both register classes, once per registration (so a duplicate-bit id is
+// visited twice). Invariant checkers use it to cross-check the consumer
+// bitmaps against the bank's not-ready counters; fn must not call Watch,
+// Free, or SetReady.
+func (f *File) VisitWatchers(fn func(p PhysRef, id int32)) {
+	if f.words == 0 {
+		return
+	}
 	for cls := range f.files {
 		fl := &f.files[cls]
-		for idx := range fl.watchers {
+		for idx := 0; idx < len(fl.ready); idx++ {
 			p := PhysRef{Class: isa.RegClass(cls), Index: int16(idx)}
-			for _, w := range fl.watchers[idx] {
-				fn(p, w.c, w.token)
+			base := idx * f.words
+			for w := 0; w < f.words; w++ {
+				m := fl.cons[base+w]
+				d := fl.dup[base+w]
+				idBase := int32(w) << 6
+				for m != 0 {
+					b := uint(bits.TrailingZeros64(m))
+					m &^= 1 << b
+					id := idBase + int32(b)
+					fn(p, id)
+					if (d>>b)&1 != 0 {
+						fn(p, id)
+					}
+				}
 			}
 		}
 	}
@@ -261,10 +371,11 @@ func (f *File) VisitWatchers(fn func(p PhysRef, c Consumer, token uint64)) {
 
 // CheckInvariants verifies the register file's internal contracts: the
 // free list holds each unallocated register exactly once and no
-// allocated one; free registers are not marked ready; and no consumer
-// list survives on a register whose value already exists (SetReady
-// drains lists, Watch declines ready registers, Free clears). It
-// returns an error describing the first violation.
+// allocated one; free registers are not marked ready; no consumer bit
+// survives on a register whose value already exists (SetReady clears the
+// bitmap, Watch declines ready registers, Free clears); and every
+// duplicate bit shadows a primary bit. It returns an error describing
+// the first violation.
 func (f *File) CheckInvariants() error {
 	for cls := range f.files {
 		fl := &f.files[cls]
@@ -288,8 +399,18 @@ func (f *File) CheckInvariants() error {
 			if !fl.allocated[idx] && fl.ready[idx] {
 				return fmt.Errorf("regfile: free register p%d%s marked ready", idx, isa.RegClass(cls))
 			}
-			if fl.ready[idx] && len(fl.watchers[idx]) > 0 {
-				return fmt.Errorf("regfile: ready register p%d%s still has %d watchers", idx, isa.RegClass(cls), len(fl.watchers[idx]))
+			p := PhysRef{Class: isa.RegClass(cls), Index: int16(idx)}
+			if fl.ready[idx] && f.Watchers(p) > 0 {
+				return fmt.Errorf("regfile: ready register p%d%s still has %d watchers", idx, isa.RegClass(cls), f.Watchers(p))
+			}
+			if f.words != 0 {
+				base := idx * f.words
+				for w := 0; w < f.words; w++ {
+					if orphan := fl.dup[base+w] &^ fl.cons[base+w]; orphan != 0 {
+						return fmt.Errorf("regfile: p%d%s has duplicate watch bit without primary (word %d, bits %#x)",
+							idx, isa.RegClass(cls), w, orphan)
+					}
+				}
 			}
 		}
 	}

@@ -1,6 +1,13 @@
 // Package rob implements the per-thread reorder buffer: a bounded FIFO of
 // in-flight micro-operations allocated in program order at rename and
 // drained in program order at commit (Table 1: 96 entries per thread).
+//
+// The ROB does not store pointers: each thread's buffer is a window of
+// `capacity` consecutive slots in the core's shared uop bank, and the
+// ring index *is* the uop's dense id (id = base + slot). Allocating a
+// ROB entry and allocating the uop record are the same act, which gives
+// ids the exact lifetime of a hardware ROB entry — live from rename to
+// commit or squash, recycled immediately after.
 package rob
 
 import (
@@ -9,23 +16,28 @@ import (
 	"smtsim/internal/uop"
 )
 
-// ROB is one thread's reorder buffer, a ring buffer of UOp pointers.
+// ROB is one thread's reorder buffer: a ring of uop-bank slots.
 type ROB struct {
-	buf  []*uop.UOp
-	head int // oldest
+	bank *uop.Bank
+	base int32 // first bank id owned by this thread
+	cap  int
+	head int // oldest slot (ring index, not id)
 	size int
 }
 
-// New builds a reorder buffer with the given capacity.
-func New(capacity int) *ROB {
+// New builds a reorder buffer over bank slots [base, base+capacity).
+func New(bank *uop.Bank, base int32, capacity int) *ROB {
 	if capacity <= 0 {
 		panic("rob: capacity must be positive")
 	}
-	return &ROB{buf: make([]*uop.UOp, capacity)}
+	if int(base)+capacity > bank.Cap() {
+		panic("rob: window exceeds bank capacity")
+	}
+	return &ROB{bank: bank, base: base, cap: capacity}
 }
 
 // Cap returns the capacity.
-func (r *ROB) Cap() int { return len(r.buf) }
+func (r *ROB) Cap() int { return r.cap }
 
 // Len returns the number of in-flight entries.
 func (r *ROB) Len() int { return r.size }
@@ -33,17 +45,26 @@ func (r *ROB) Len() int { return r.size }
 // CanAlloc reports whether n more entries fit.
 //
 //smt:hotpath
-func (r *ROB) CanAlloc(n int) bool { return r.size+n <= len(r.buf) }
+func (r *ROB) CanAlloc(n int) bool { return r.size+n <= r.cap }
 
-// Alloc appends u at the tail. Callers gate on CanAlloc; overflow panics.
+// Alloc takes the next tail slot and returns its freshly reset record
+// for the caller to fill. Callers gate on CanAlloc; overflow panics.
+// Resetting lazily here — not when the slot drains — lets commit and
+// squash paths keep reading the record after releasing it.
 //
 //smt:hotpath
-func (r *ROB) Alloc(u *uop.UOp) {
-	if r.size == len(r.buf) {
+func (r *ROB) Alloc() *uop.UOp {
+	if r.size == r.cap {
 		panic("rob: overflow")
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = u
+	slot := r.head + r.size
+	if slot >= r.cap {
+		slot -= r.cap
+	}
 	r.size++
+	u := r.bank.Get(r.base + int32(slot))
+	u.Reset()
+	return u
 }
 
 // Head returns the oldest in-flight UOp, or nil if empty.
@@ -53,19 +74,22 @@ func (r *ROB) Head() *uop.UOp {
 	if r.size == 0 {
 		return nil
 	}
-	return r.buf[r.head]
+	return r.bank.Get(r.base + int32(r.head))
 }
 
-// PopHead removes and returns the oldest entry; nil if empty.
+// PopHead releases the oldest slot and returns its record; nil if empty.
+// The record stays readable until the slot is next allocated.
 //
 //smt:hotpath
 func (r *ROB) PopHead() *uop.UOp {
 	if r.size == 0 {
 		return nil
 	}
-	u := r.buf[r.head]
-	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	u := r.bank.Get(r.base + int32(r.head))
+	r.head++
+	if r.head == r.cap {
+		r.head = 0
+	}
 	r.size--
 	return u
 }
@@ -77,20 +101,21 @@ func (r *ROB) PopHead() *uop.UOp {
 //
 //smt:hotpath
 func (r *ROB) IsHead(u *uop.UOp) bool {
-	return r.size > 0 && r.buf[r.head] == u
+	return r.size > 0 && u.ID == r.base+int32(r.head)
 }
 
-// PopTail removes and returns the youngest entry; nil if empty. Used by
-// selective-squash paths, which unwind from the tail.
+// PopTail releases the youngest slot and returns its record; nil if
+// empty. Used by selective-squash paths, which unwind from the tail.
 func (r *ROB) PopTail() *uop.UOp {
 	if r.size == 0 {
 		return nil
 	}
-	i := (r.head + r.size - 1) % len(r.buf)
-	u := r.buf[i]
-	r.buf[i] = nil
+	slot := r.head + r.size - 1
+	if slot >= r.cap {
+		slot -= r.cap
+	}
 	r.size--
-	return u
+	return r.bank.Get(r.base + int32(slot))
 }
 
 // Tail returns the youngest entry without removing it; nil if empty.
@@ -98,7 +123,11 @@ func (r *ROB) Tail() *uop.UOp {
 	if r.size == 0 {
 		return nil
 	}
-	return r.buf[(r.head+r.size-1)%len(r.buf)]
+	slot := r.head + r.size - 1
+	if slot >= r.cap {
+		slot -= r.cap
+	}
+	return r.bank.Get(r.base + int32(slot))
 }
 
 // DrainYoungerThan removes every entry younger than gseq and returns
@@ -125,22 +154,30 @@ func (r *ROB) DrainAll() []*uop.UOp {
 // ForEach visits in-flight entries oldest-first.
 func (r *ROB) ForEach(fn func(*uop.UOp)) {
 	for i := 0; i < r.size; i++ {
-		fn(r.buf[(r.head+i)%len(r.buf)])
+		slot := r.head + i
+		if slot >= r.cap {
+			slot -= r.cap
+		}
+		fn(r.bank.Get(r.base + int32(slot)))
 	}
 }
 
 // CheckInvariants verifies the buffer's structural contracts: every
-// occupied slot holds a renamed, unsquashed UOp of thread `thread`, and
-// allocation order equals program order (strictly ascending rename
-// sequence from head to tail). It returns an error describing the first
-// violation.
+// occupied slot holds a renamed, unsquashed UOp of thread `thread` whose
+// id matches its slot, and allocation order equals program order
+// (strictly ascending rename sequence from head to tail). It returns an
+// error describing the first violation.
 func (r *ROB) CheckInvariants(thread int) error {
 	var prev uint64
 	for i := 0; i < r.size; i++ {
-		u := r.buf[(r.head+i)%len(r.buf)]
+		slot := r.head + i
+		if slot >= r.cap {
+			slot -= r.cap
+		}
+		u := r.bank.Get(r.base + int32(slot))
 		switch {
-		case u == nil:
-			return fmt.Errorf("rob: nil entry at depth %d", i)
+		case u.ID != r.base+int32(slot):
+			return fmt.Errorf("rob: slot %d holds id %d, want %d", slot, u.ID, r.base+int32(slot))
 		case u.Thread != thread:
 			return fmt.Errorf("rob: thread-%d buffer holds gseq=%d of thread %d", thread, u.GSeq, u.Thread)
 		case u.Squashed:

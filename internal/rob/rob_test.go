@@ -7,11 +7,19 @@ import (
 	"smtsim/internal/uop"
 )
 
+// alloc grabs the next ROB record and stamps it, mirroring the rename
+// stage's fill-after-Alloc discipline.
+func alloc(r *ROB, gseq uint64) *uop.UOp {
+	u := r.Alloc()
+	u.GSeq = gseq
+	return u
+}
+
 func TestFIFOOrder(t *testing.T) {
-	r := New(4)
-	us := []*uop.UOp{{GSeq: 1}, {GSeq: 2}, {GSeq: 3}}
-	for _, u := range us {
-		r.Alloc(u)
+	r := New(uop.NewBank(4), 0, 4)
+	var us []*uop.UOp
+	for i := 1; i <= 3; i++ {
+		us = append(us, alloc(r, uint64(i)))
 	}
 	if r.Len() != 3 || r.Cap() != 4 {
 		t.Fatalf("len=%d cap=%d", r.Len(), r.Cap())
@@ -30,12 +38,12 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestCanAllocAndOverflow(t *testing.T) {
-	r := New(2)
+	r := New(uop.NewBank(2), 0, 2)
 	if !r.CanAlloc(2) || r.CanAlloc(3) {
 		t.Error("CanAlloc wrong on empty ROB")
 	}
-	r.Alloc(&uop.UOp{})
-	r.Alloc(&uop.UOp{})
+	r.Alloc()
+	r.Alloc()
 	if r.CanAlloc(1) {
 		t.Error("CanAlloc true on full ROB")
 	}
@@ -44,14 +52,13 @@ func TestCanAllocAndOverflow(t *testing.T) {
 			t.Error("overflow did not panic")
 		}
 	}()
-	r.Alloc(&uop.UOp{})
+	r.Alloc()
 }
 
 func TestIsHead(t *testing.T) {
-	r := New(4)
-	a, b := &uop.UOp{GSeq: 1}, &uop.UOp{GSeq: 2}
-	r.Alloc(a)
-	r.Alloc(b)
+	r := New(uop.NewBank(4), 0, 4)
+	a := alloc(r, 1)
+	b := alloc(r, 2)
 	if !r.IsHead(a) || r.IsHead(b) {
 		t.Error("IsHead wrong")
 	}
@@ -61,14 +68,26 @@ func TestIsHead(t *testing.T) {
 	}
 }
 
+// TestBankBaseOffsets: a ROB carved from the middle of a shared bank
+// hands out records whose ids live in its own window.
+func TestBankBaseOffsets(t *testing.T) {
+	bank := uop.NewBank(8)
+	r := New(bank, 4, 4)
+	u := r.Alloc()
+	if u.ID < 4 || u.ID >= 8 {
+		t.Fatalf("id %d outside bank window [4,8)", u.ID)
+	}
+	if bank.Get(u.ID) != u {
+		t.Error("bank.Get does not round-trip the allocated record")
+	}
+}
+
 func TestWrapAround(t *testing.T) {
-	r := New(3)
+	r := New(uop.NewBank(3), 0, 3)
 	seq := uint64(0)
 	push := func() *uop.UOp {
 		seq++
-		u := &uop.UOp{GSeq: seq}
-		r.Alloc(u)
-		return u
+		return alloc(r, seq)
 	}
 	push()
 	push()
@@ -86,12 +105,10 @@ func TestWrapAround(t *testing.T) {
 }
 
 func TestDrainAllProgramOrder(t *testing.T) {
-	r := New(8)
+	r := New(uop.NewBank(8), 0, 8)
 	var want []*uop.UOp
 	for i := 0; i < 5; i++ {
-		u := &uop.UOp{GSeq: uint64(i)}
-		r.Alloc(u)
-		want = append(want, u)
+		want = append(want, alloc(r, uint64(i+1)))
 	}
 	got := r.DrainAll()
 	if len(got) != len(want) {
@@ -108,9 +125,9 @@ func TestDrainAllProgramOrder(t *testing.T) {
 }
 
 func TestForEachVisitsOldestFirst(t *testing.T) {
-	r := New(4)
+	r := New(uop.NewBank(4), 0, 4)
 	for i := 0; i < 3; i++ {
-		r.Alloc(&uop.UOp{GSeq: uint64(i)})
+		alloc(r, uint64(i+1))
 	}
 	var seen []uint64
 	r.ForEach(func(u *uop.UOp) { seen = append(seen, u.GSeq) })
@@ -125,13 +142,13 @@ func TestForEachVisitsOldestFirst(t *testing.T) {
 // queue discipline (pops return entries in allocation order).
 func TestFIFOProperty(t *testing.T) {
 	f := func(ops []bool) bool {
-		r := New(16)
+		r := New(uop.NewBank(16), 0, 16)
 		var expect []uint64
 		seq := uint64(0)
-		for _, alloc := range ops {
-			if alloc && r.CanAlloc(1) {
+		for _, doAlloc := range ops {
+			if doAlloc && r.CanAlloc(1) {
 				seq++
-				r.Alloc(&uop.UOp{GSeq: seq})
+				alloc(r, seq)
 				expect = append(expect, seq)
 			} else if r.Len() > 0 {
 				got := r.PopHead()

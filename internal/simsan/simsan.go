@@ -12,8 +12,9 @@
 //     on, Section 4).
 //   - Issue-queue residents' event-maintained not-ready counters match
 //     the register file's ready bits, and the per-register consumer
-//     lists hold no live duplicates beyond an instruction's actual
-//     operand multiplicity (the wakeup-CAM model).
+//     bitmaps hold exactly one watch bit per non-ready source operand —
+//     no stale bit on a recycled bank slot, none surviving issue or
+//     squash (the wakeup-CAM model over structure-of-arrays state).
 //   - Physical-register conservation: every register is reachable from
 //     an architectural mapping or a live destination, exactly when it is
 //     allocated — no leak, no double-free — across commit, watchdog
@@ -75,9 +76,10 @@ func (v Violation) Error() string {
 // hardware thread.
 type Machine struct {
 	// EventWakeup mirrors the core's wakeup discipline; counter and
-	// consumer-list invariants only apply in event mode.
+	// consumer-bitmap invariants only apply in event mode.
 	EventWakeup bool
 
+	Bank *uop.Bank
 	RF   *regfile.File
 	IQ   *iq.Queue
 	Disp *core.Dispatcher
@@ -238,7 +240,8 @@ func (c *Checker) checkLocations(cycle int64) {
 			c.addf(cycle, "location", u.Thread, u, "IQ resident not in any ROB")
 		}
 	})
-	for _, u := range c.m.Disp.DAB().Entries() {
+	for _, id := range c.m.Disp.DAB().Entries() {
+		u := c.m.Bank.Get(id)
 		if _, ok := c.live[u]; !ok {
 			c.addf(cycle, "location", u.Thread, u, "DAB occupant not in any ROB")
 		}
@@ -266,7 +269,8 @@ func (c *Checker) checkLocations(cycle int64) {
 // the Section 4 property that lets the DAB issue from a plain RAM with
 // no wakeup CAM.
 func (c *Checker) checkDAB(cycle int64) {
-	for _, u := range c.m.Disp.DAB().Entries() {
+	for _, id := range c.m.Disp.DAB().Entries() {
+		u := c.m.Bank.Get(id)
 		t := u.Thread
 		if !u.InDAB {
 			c.addf(cycle, "dab-oldest-ready", t, u, "occupant has InDAB unset")
@@ -280,30 +284,27 @@ func (c *Checker) checkDAB(cycle int64) {
 		if n := u.NumSrcNotReady(c.m.RF); n != 0 {
 			c.addf(cycle, "dab-oldest-ready", t, u, "occupant has %d non-ready sources", n)
 		}
-		if c.m.EventWakeup && u.NotReady != 0 {
-			c.addf(cycle, "dab-oldest-ready", t, u, "occupant's not-ready counter is %d", u.NotReady)
+		if c.m.EventWakeup && c.m.Bank.NotReady[u.ID] != 0 {
+			c.addf(cycle, "dab-oldest-ready", t, u, "occupant's not-ready counter is %d", c.m.Bank.NotReady[u.ID])
 		}
 	}
 }
 
 // checkWakeup verifies the event-driven wakeup bookkeeping: every live,
 // unissued instruction's not-ready counter equals both a register-file
-// poll and its live consumer-list registrations; registrations never
-// outnumber an instruction's matching source operands (no live
-// duplicates) and never survive issue.
+// poll and its watch-bit registrations in the consumer bitmaps; watch
+// bits never outnumber an instruction's matching source operands and
+// never survive issue or squash. With bank slots recycled by later
+// renames, a stale bit is not harmless — a broadcast would decrement the
+// new occupant's counter — so any watch whose slot does not hold a live,
+// watching incarnation is a violation in its own right.
 func (c *Checker) checkWakeup(cycle int64) {
 	clear(c.watches)
-	c.m.RF.VisitWatchers(func(p regfile.PhysRef, cons regfile.Consumer, token uint64) {
-		u, ok := cons.(*uop.UOp)
-		if !ok {
-			return // a non-UOp consumer (tests) is outside our contract
-		}
-		if u.Squashed || token != u.GSeq {
-			return // stale registration of a dead incarnation; harmless
-		}
+	c.m.RF.VisitWatchers(func(p regfile.PhysRef, id int32) {
+		u := c.m.Bank.Get(id)
 		t, live := c.live[u]
-		if !live {
-			c.addf(cycle, "wakeup-counter", u.Thread, u, "live watch on %s for an instruction not in flight", p)
+		if !live || u.Squashed {
+			c.addf(cycle, "wakeup-counter", u.Thread, u, "watch on %s for bank slot %d, whose occupant is not in flight", p, id)
 			return
 		}
 		if u.Issued {
@@ -320,23 +321,24 @@ func (c *Checker) checkWakeup(cycle int64) {
 			return
 		}
 		c.watches[u]++
-		if c.watches[u] > int(u.NotReady) {
-			c.addf(cycle, "wakeup-counter", t, u, "duplicate live watch registrations exceed not-ready counter %d", u.NotReady)
+		if c.watches[u] > int(c.m.Bank.NotReady[id]) {
+			c.addf(cycle, "wakeup-counter", t, u, "live watch bits exceed not-ready counter %d", c.m.Bank.NotReady[id])
 		}
 	})
 	for u, t := range c.live {
-		if u.NotReady < 0 {
-			c.addf(cycle, "wakeup-counter", t, u, "not-ready counter underflow: %d", u.NotReady)
+		nr := c.m.Bank.NotReady[u.ID]
+		if nr < 0 {
+			c.addf(cycle, "wakeup-counter", t, u, "not-ready counter underflow: %d", nr)
 			continue
 		}
 		if u.Issued {
 			continue // counters are dead after issue; watches checked above
 		}
-		if polled := u.NumSrcNotReady(c.m.RF); int(u.NotReady) != polled {
-			c.addf(cycle, "wakeup-counter", t, u, "counter says %d non-ready, register file says %d", u.NotReady, polled)
+		if polled := u.NumSrcNotReady(c.m.RF); int(nr) != polled {
+			c.addf(cycle, "wakeup-counter", t, u, "counter says %d non-ready, register file says %d", nr, polled)
 		}
-		if got := c.watches[u]; got != int(u.NotReady) {
-			c.addf(cycle, "wakeup-counter", t, u, "%d live watch registrations for counter %d", got, u.NotReady)
+		if got := c.watches[u]; got != int(nr) {
+			c.addf(cycle, "wakeup-counter", t, u, "%d live watch bits for counter %d", got, nr)
 		}
 	}
 }

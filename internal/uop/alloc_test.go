@@ -1,0 +1,24 @@
+package uop
+
+import "testing"
+
+// TestBankHotOpsZeroAllocs guards the structure-of-arrays discipline at
+// runtime: slot lookup, readiness-counter updates, and slot recycling
+// are the per-uop operations every pipeline stage performs, and none of
+// them may touch the heap. The bank is one contiguous slab allocated at
+// construction; Reset in particular must compile to a memory clear, not
+// a copy of a heap-built temporary.
+func TestBankHotOpsZeroAllocs(t *testing.T) {
+	b := NewBank(128)
+	if avg := testing.AllocsPerRun(10_000, func() {
+		for id := ID(0); id < 128; id += 16 {
+			u := b.Get(id)
+			b.NotReady[id] = 2
+			b.NotReady[id]--
+			u.Completed = true
+			u.Reset()
+		}
+	}); avg != 0 {
+		t.Errorf("bank get/count/reset cycle allocates %.1f times per run, want 0", avg)
+	}
+}

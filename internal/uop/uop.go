@@ -1,5 +1,6 @@
 // Package uop defines the in-flight micro-operation record shared by the
-// rename, dispatch, issue-queue, ROB, and LSQ models. A UOp wraps one
+// rename, dispatch, issue-queue, ROB, and LSQ models, and the Bank — the
+// structure-of-arrays slab that owns every record. A UOp wraps one
 // dynamic instruction from the trace with its renamed operands and the
 // timestamps the metrics package aggregates.
 package uop
@@ -12,19 +13,83 @@ import (
 // NoCycle marks a timestamp that has not happened yet.
 const NoCycle int64 = -1
 
+// ID is a dense in-flight micro-operation identity: the UOp's slot in
+// its core's Bank. The pipeline derives it from the ROB slot (thread
+// base + reorder-buffer ring index), so an ID is stable from rename to
+// commit and is recycled the moment the slot drains — exactly the
+// lifetime discipline a hardware ROB entry has. Structures on the cycle
+// path (IQ, LSQ, DAB, dispatch buffers, register-file wakeup bitmaps)
+// store IDs instead of pointers: 4 bytes, no GC write barriers, and a
+// natural index into the Bank's arrays.
+type ID = int32
+
+// NoID is the absent-identity sentinel.
+const NoID ID = -1
+
+// Bank owns every in-flight micro-operation record of one core as a
+// single contiguous slab, indexed by ID. Hot per-uop state the wakeup
+// broadcast touches is split structure-of-arrays style (NotReady) so the
+// register file can update it without chasing the full record; the rest
+// of the fields live in the slab struct, which is still one cache-
+// friendly array rather than a pool of scattered heap objects.
+type Bank struct {
+	// NotReady counts, per ID, the source operands whose values have not
+	// yet been produced. It is maintained event-driven: the pipeline
+	// initializes it at rename and registers the ID in each pending
+	// source's consumer bitmap (regfile.Watch); every tag broadcast
+	// (SetReady) decrements it directly. Only meaningful in event-wakeup
+	// mode; the legacy polling mode ignores it and re-derives the count
+	// from the register file.
+	NotReady []int8
+
+	slab []UOp
+}
+
+// NewBank builds a bank of n records, all reset, with IDs 0..n-1.
+func NewBank(n int) *Bank {
+	if n <= 0 {
+		panic("uop: bank size must be positive")
+	}
+	b := &Bank{
+		NotReady: make([]int8, n),
+		slab:     make([]UOp, n),
+	}
+	for i := range b.slab {
+		b.slab[i].ID = ID(i)
+		b.slab[i].Reset()
+	}
+	return b
+}
+
+// Cap returns the number of slots.
+func (b *Bank) Cap() int { return len(b.slab) }
+
+// Get returns the record at id. The pointer is stable for the bank's
+// lifetime (records never move); identity is only meaningful while the
+// owning ROB slot is live.
+//
+//smt:hotpath
+func (b *Bank) Get(id ID) *UOp { return &b.slab[id] }
+
 // Waker is notified the moment a UOp's last outstanding source operand
-// becomes ready (NotReady reaches zero). The issue queue installs itself
-// here so wakeup moves instructions onto its ready list instead of the
-// queue re-scanning every entry each cycle.
+// becomes ready (its bank NotReady counter reaches zero). The issue
+// queue installs itself here so wakeup moves instructions onto its ready
+// list instead of the queue re-scanning every entry each cycle.
 type Waker interface {
 	UOpReady(u *UOp)
 }
 
-// UOp is one in-flight instruction. The pipeline owns UOps via pointers;
-// a UOp lives from rename until commit (or squash) and is then recycled.
+// UOp is one in-flight instruction. The Bank owns the record; the
+// pipeline refers to it by ID (or by the stable *UOp into the slab). A
+// UOp lives from rename until commit (or squash); its slot is then
+// recycled by the ROB ring.
 type UOp struct {
 	// Inst is the immutable trace record.
 	Inst isa.Inst
+
+	// ID is the record's bank slot (ROB slot identity). Set once at bank
+	// construction; Reset preserves it.
+	ID ID
 
 	// Thread is the hardware thread context id.
 	Thread int
@@ -59,17 +124,11 @@ type UOp struct {
 	// InReady tracks membership in the queue's incremental ready list
 	// (event-driven wakeup mode).
 	InReady bool
+	// LSQSlot is the UOp's ring slot in its thread's load/store queue
+	// (memory operations only). Maintained by the LSQ; it lets the
+	// disambiguation check scan only the strictly older entries.
+	LSQSlot int32
 
-	// NotReady counts source operands whose values have not yet been
-	// produced. It is maintained event-driven: the pipeline initializes
-	// it at rename and registers the UOp on each pending source's
-	// consumer list (regfile.Watch); every tag broadcast (SetReady)
-	// decrements it through OperandReady. Only meaningful in
-	// event-wakeup mode; the legacy polling mode ignores it and
-	// re-derives the count from the register file.
-	NotReady int8
-	// Waker, when non-nil, is notified when NotReady drops to zero.
-	Waker Waker
 	// InDAB reports the UOp sits in the deadlock-avoidance buffer.
 	InDAB bool
 	// Issued reports the UOp has left the scheduler.
@@ -109,34 +168,29 @@ type UOp struct {
 	DepOnNDI bool
 }
 
-// Reset clears the UOp for reuse from a pool. GSeq resets to zero, which
-// never matches a live rename sequence number (the pipeline numbers from
-// one), so stale references to a recycled UOp — pending completion
-// events, register consumer-list entries — identify themselves by token
+// Reset clears the UOp for reuse of its slot, preserving the identity.
+// GSeq resets to zero, which never matches a live rename sequence number
+// (the pipeline numbers from one), so stale references to a recycled
+// slot — pending completion events — identify themselves by sequence
 // mismatch.
+//
+//smt:hotpath
 func (u *UOp) Reset() {
-	*u = UOp{
-		RenamedAt:    NoCycle,
-		DispatchedAt: NoCycle,
-		IssuedAt:     NoCycle,
-		CompletedAt:  NoCycle,
-		Srcs:         [isa.MaxSources]regfile.PhysRef{regfile.NoPhys, regfile.NoPhys},
-		Dest:         regfile.NoPhys,
-		PrevDest:     regfile.NoPhys,
-	}
-}
-
-// OperandReady implements regfile.Consumer: one watched source operand
-// was just produced. Notifications for a squashed UOp, or ones whose
-// token predates a recycle (token != GSeq), are stale and ignored.
-func (u *UOp) OperandReady(_ regfile.PhysRef, token uint64) {
-	if u.Squashed || token != u.GSeq || u.NotReady == 0 {
-		return
-	}
-	u.NotReady--
-	if u.NotReady == 0 && u.Waker != nil {
-		u.Waker.UOpReady(u)
-	}
+	id := u.ID
+	// Zero the record wholesale, then restore the identity and the
+	// non-zero sentinels. The pointer-free struct makes the first
+	// assignment a plain memory clear, which the compiler emits far
+	// tighter code for than copying a mostly-zero temporary.
+	*u = UOp{}
+	u.ID = id
+	u.RenamedAt = NoCycle
+	u.DispatchedAt = NoCycle
+	u.IssuedAt = NoCycle
+	u.CompletedAt = NoCycle
+	u.Srcs = [isa.MaxSources]regfile.PhysRef{regfile.NoPhys, regfile.NoPhys}
+	u.Dest = regfile.NoPhys
+	u.PrevDest = regfile.NoPhys
+	u.LSQSlot = -1
 }
 
 // NumSrcNotReady counts source operands whose physical registers are not
