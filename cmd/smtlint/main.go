@@ -1,21 +1,26 @@
 // Command smtlint runs the repository's static-analysis suite (detlint,
-// allocfree, statescope, cyclepure — see internal/analysis and DESIGN.md
-// §7) over Go packages.
+// allocfree, statescope, cyclepure, idsafe, memocoherent — see
+// internal/analysis and DESIGN.md §7/§9) over Go packages.
 //
 // Two modes:
 //
-//	smtlint ./...                       # standalone, over package patterns
+//	smtlint [-json] ./...               # standalone, over package patterns
 //	go vet -vettool=$(pwd)/bin/smtlint ./...   # as a go vet tool
 //
 // The vettool mode speaks the go command's unitchecker protocol: go vet
 // invokes the tool once per package with a JSON config file naming the
-// sources and the compiled export data of every dependency, plus the
-// -V=full and -flags handshakes it uses for caching and flag
-// validation. Diagnostics go to stderr as file:line:col: message; a
-// non-zero exit fails the vet run.
+// sources, the compiled export data of every dependency, and the .vetx
+// fact files earlier invocations wrote for those dependencies (how
+// allocfree's interprocedural verdicts cross package boundaries under
+// incremental builds), plus the -V=full and -flags handshakes it uses
+// for caching and flag validation. Diagnostics go to stderr as
+// file:line:col: message [analyzer]; a non-zero exit fails the vet run.
+// Standalone -json instead emits one JSON object per diagnostic on
+// stdout (NDJSON: file, line, col, analyzer, message) for CI tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,8 +57,9 @@ func main() {
 // ./...) from the current directory.
 func standalone(args []string) {
 	fs := flag.NewFlagSet("smtlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as NDJSON on stdout instead of text on stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: smtlint [packages]\n   or: go vet -vettool=/path/to/smtlint [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: smtlint [-json] [packages]\n   or: go vet -vettool=/path/to/smtlint [packages]\n")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -71,15 +77,23 @@ func standalone(args []string) {
 	if err != nil {
 		fatalf("smtlint: %v", err)
 	}
+	// One session across the run: LoadPatterns returns packages in go
+	// list order (dependencies first), so facts a package exports are in
+	// the store before any dependent is analyzed.
+	sess := smtlint.NewSession()
 	bad := false
 	for _, pkg := range pkgs {
-		diags, err := smtlint.Run(pkg)
+		diags, err := sess.Run(pkg)
 		if err != nil {
 			fatalf("smtlint: %s: %v", pkg.Path, err)
 		}
 		for _, d := range diags {
 			bad = true
-			printDiag(pkg, d)
+			if *jsonOut {
+				printJSONDiag(pkg, d)
+			} else {
+				printDiag(pkg, d)
+			}
 		}
 	}
 	if bad {
@@ -89,6 +103,22 @@ func standalone(args []string) {
 
 func printDiag(pkg *load.Package, d framework.Diagnostic) {
 	fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+}
+
+// printJSONDiag emits one diagnostic as a single NDJSON line on stdout.
+func printJSONDiag(pkg *load.Package, d framework.Diagnostic) {
+	pos := pkg.Fset.Position(d.Pos)
+	line, err := json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message})
+	if err != nil {
+		fatalf("smtlint: %v", err)
+	}
+	fmt.Println(string(line))
 }
 
 func fatalf(format string, args ...interface{}) {

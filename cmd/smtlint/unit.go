@@ -9,7 +9,9 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
+	"smtsim/internal/analysis/facts"
 	"smtsim/internal/analysis/load"
 	"smtsim/internal/analysis/smtlint"
 )
@@ -36,6 +38,14 @@ type vetConfig struct {
 
 // unitCheck analyzes one package as directed by a go vet .cfg file and
 // exits: 0 when clean, 2 when diagnostics were reported.
+//
+// Facts: the go command schedules a VetxOnly pass over every dependency
+// before the dependent's diagnostics pass, feeding each pass the .vetx
+// outputs of its direct dependencies (PackageVetx) and caching them as
+// build-graph inputs. Each invocation decodes those files into one
+// session store, analyzes, and encodes the accumulated store — its own
+// exports plus everything inherited — to VetxOutput, so transitive
+// facts survive even though only direct dependencies are listed.
 func unitCheck(cfgFile string) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -46,22 +56,43 @@ func unitCheck(cfgFile string) {
 		fatalf("smtlint: parsing %s: %v", cfgFile, err)
 	}
 
-	// go vet caches and feeds back a per-package "facts" file. This
-	// suite derives everything from one package plus export data, so the
-	// file only needs to exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("smtlint.facts.v1\n"), 0o666); err != nil {
+	store := facts.NewSet()
+	writeFacts := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		payload, err := store.Encode()
+		if err != nil {
+			fatalf("smtlint: %v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
 			fatalf("smtlint: writing facts: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
-		return // dependency pass: facts only, no diagnostics wanted
+
+	// Only this module's packages can carry smtlint facts (the analyzers
+	// export facts for smtsim code alone), so dependency passes over the
+	// standard library need no parsing or type checking at all: an empty
+	// fact file is their correct, cacheable result.
+	inModule := cfg.ImportPath == "smtsim" || strings.HasPrefix(cfg.ImportPath, "smtsim/")
+	if cfg.VetxOnly && !inModule {
+		writeFacts()
+		return
+	}
+
+	// Merge the dependencies' facts, deterministically ordered. Files an
+	// older tool wrote merge as empty (tolerant decode).
+	for _, path := range sortedKeys(cfg.PackageVetx) {
+		if payload, err := os.ReadFile(cfg.PackageVetx[path]); err == nil {
+			store.Decode(payload)
+		}
 	}
 
 	fset := token.NewFileSet()
 	files, err := load.ParseFiles(fset, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeFacts()
 			return
 		}
 		fatalf("smtlint: %v", err)
@@ -71,14 +102,20 @@ func unitCheck(cfgFile string) {
 	pkg, terr := load.TypeCheck(fset, cfg.ImportPath, files, imp)
 	if terr != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeFacts()
 			return
 		}
 		fatalf("smtlint: %s: %v", cfg.ImportPath, terr)
 	}
 
-	diags, err := smtlint.Run(pkg)
+	sess := &smtlint.Session{Facts: store}
+	diags, err := sess.Run(pkg)
 	if err != nil {
 		fatalf("smtlint: %s: %v", cfg.ImportPath, err)
+	}
+	writeFacts()
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, no diagnostics wanted
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	for _, d := range diags {
@@ -87,6 +124,15 @@ func unitCheck(cfgFile string) {
 	if len(diags) > 0 {
 		os.Exit(2)
 	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func compilerOr(c string) string {

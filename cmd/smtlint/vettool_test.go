@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -38,9 +40,20 @@ func TestVettoolProtocol(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool on seeded violation succeeded; want failure\n%s", out)
 	}
-	if !strings.Contains(out, "nondeterministic iteration over map") ||
-		!strings.Contains(out, "[detlint]") {
-		t.Errorf("seeded-violation output missing detlint diagnostic:\n%s", out)
+	for _, want := range []string{
+		"nondeterministic iteration over map", "[detlint]",
+		"idsafe: u from uop.Bank.Get is used before its GSeq/Squashed token is checked",
+		`guarded by memo "commit-skip-mask"`, "[memocoherent]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seeded-violation output missing %q:\n%s", want, out)
+		}
+	}
+	// The transitive-allocation diagnostic is the fact round-trip proof:
+	// scratch's MayAlloc verdict was encoded to a .vetx file by one tool
+	// process and decoded by the separate process that analyzed fu.
+	if !strings.Contains(out, "calls fill, which may allocate: calls scratch.Wrap: calls Grow") {
+		t.Errorf("seeded-violation output missing transitive allocfree diagnostic (fact round-trip broken):\n%s", out)
 	}
 
 	out, err = runIn(fixtureModule, "go", "vet", "-vettool="+bin, "./internal/rob")
@@ -59,12 +72,59 @@ func TestStandaloneMode(t *testing.T) {
 	if err == nil {
 		t.Fatalf("standalone smtlint on seeded violation succeeded; want failure\n%s", out)
 	}
-	if !strings.Contains(out, "nondeterministic iteration over map") {
-		t.Errorf("standalone output missing detlint diagnostic:\n%s", out)
+	for _, want := range []string{
+		"nondeterministic iteration over map",
+		"calls fill, which may allocate",
+		"[idsafe]",
+		"[memocoherent]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("standalone output missing %q:\n%s", want, out)
+		}
 	}
 
 	out, err = runIn(fixtureModule, bin, "./internal/rob")
 	if err != nil {
 		t.Errorf("standalone smtlint on clean fixture package failed: %v\n%s", err, out)
+	}
+}
+
+// TestJSONMode checks the standalone -json contract: every stdout line
+// is one JSON diagnostic with the fields CI tooling keys on, and the
+// exit status still signals failure.
+func TestJSONMode(t *testing.T) {
+	bin := buildSmtlint(t)
+
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = fixtureModule
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("smtlint -json on seeded violation succeeded; want failure\n%s", stdout.String())
+	}
+
+	type diag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	byAnalyzer := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("stdout line is not a JSON diagnostic: %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("JSON diagnostic missing fields: %+v", d)
+		}
+		byAnalyzer[d.Analyzer]++
+	}
+	for _, a := range []string{"detlint", "allocfree", "idsafe", "memocoherent"} {
+		if byAnalyzer[a] == 0 {
+			t.Errorf("no JSON diagnostic from %s; got %v\nstderr:\n%s", a, byAnalyzer, stderr.String())
+		}
 	}
 }

@@ -29,14 +29,28 @@
 //   - anything inside a panic(...) argument is exempt: a panicking
 //     simulator is already dead, and panic messages want fmt.Sprintf.
 //
+// Since v2 the check is interprocedural: every function in the package
+// — annotated or not — is summarized by the same walk, a MayAlloc fact
+// is exported for functions that allocate, and a //smt:hotpath function
+// is additionally rejected when any statically resolvable callee (in
+// this package, or in an already-analyzed dependency via its fact) may
+// allocate transitively. Callees annotated //smt:hotpath are clean by
+// definition (they are checked where they are declared); callees
+// annotated //smt:coldpath are the audited "off the per-cycle path"
+// escape; dynamic calls (func values, interface methods) and non-module
+// callees are outside the graph, which the runtime AllocsPerRun guards
+// backstop. See interproc.go.
+//
 // Escape hatch: //smt:allow-alloc on the offending line (or the line
-// above) with a reason — e.g. pool growth on the miss path. The static
+// above) with a reason — e.g. pool growth on the miss path. On a call
+// line it also severs that call's edge in the graph. The static
 // heuristic and runtime reality are cross-checked by the hotpath
 // coverage test, which requires every annotated function to be covered
 // by a zero-alloc AllocsPerRun guard.
 package allocfree
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -44,39 +58,38 @@ import (
 	"smtsim/internal/analysis/framework"
 )
 
-// Analyzer is the allocfree instance.
+// Analyzer is the allocfree instance: the direct checks plus call-graph
+// propagation of the MayAlloc fact.
 var Analyzer = &framework.Analyzer{
-	Name: "allocfree",
-	Doc:  "forbid allocation, closures, and interface boxing in //smt:hotpath functions",
-	Run:  run,
+	Name:      "allocfree",
+	Doc:       "forbid allocation — direct or through any transitively reached callee — in //smt:hotpath functions",
+	Run:       func(pass *framework.Pass) error { return run(pass, true) },
+	FactTypes: []framework.Fact{(*MayAlloc)(nil)},
 }
 
-func run(pass *framework.Pass) error {
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
-		}
-		dirs := framework.FileDirectives(pass.Fset, file)
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			if _, hot := framework.FuncDirective(fn, "hotpath"); !hot {
-				continue
-			}
-			c := &checker{pass: pass, dirs: dirs, fn: fn}
-			c.collectContext(fn.Body)
-			c.walk(fn.Body)
-		}
-	}
-	return nil
+// Intraprocedural is the propagation-off variant: exactly the pre-v2
+// analyzer. It exists to prove what the fact-driven pass adds (the
+// transitive-allocation goldens pass under Analyzer and stay silent
+// under Intraprocedural) and as the degraded behavior under a
+// facts-free driver.
+var Intraprocedural = &framework.Analyzer{
+	Name: "allocfree",
+	Doc:  "allocfree without callee propagation (comparison variant)",
+	Run:  func(pass *framework.Pass) error { return run(pass, false) },
 }
 
 type checker struct {
 	pass *framework.Pass
 	dirs framework.LineDirectives
 	fn   *ast.FuncDecl
+
+	// sink receives each (already escape-hatch-filtered) finding: the
+	// reporting mode for //smt:hotpath functions, the summary recorder
+	// when the walk computes another function's MayAlloc verdict.
+	sink func(pos token.Pos, msg string)
+	// onCall observes every call expression outside panic arguments —
+	// the interprocedural pass's edge collector. May be nil.
+	onCall func(*ast.CallExpr)
 
 	// callFuns holds every expression in callee position, so a method
 	// selector that is immediately called is not mistaken for a
@@ -104,8 +117,7 @@ func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
 	if c.dirs.Allowed(c.pass.Fset, pos, "allow-alloc") {
 		return
 	}
-	c.pass.Reportf(pos, "//smt:hotpath %s: "+format,
-		append([]interface{}{c.fn.Name.Name}, args...)...)
+	c.sink(pos, fmt.Sprintf(format, args...))
 }
 
 func (c *checker) walk(root ast.Node) {
@@ -115,6 +127,9 @@ func (c *checker) walk(root ast.Node) {
 		case *ast.CallExpr:
 			if isPanic(info, n) {
 				return false // allocation on a panic path is moot
+			}
+			if c.onCall != nil {
+				c.onCall(n)
 			}
 			c.checkCall(n)
 		case *ast.UnaryExpr:

@@ -10,3 +10,22 @@ import (
 func TestAllocfree(t *testing.T) {
 	analysistest.Run(t, "testdata", allocfree.Analyzer, "hotpath")
 }
+
+// TestAllocfreeTransitive proves the interprocedural verdicts: depalloc
+// is analyzed first so its MayAlloc facts are in the session store when
+// transhot — whose hot functions allocate only through callees — is
+// checked against its goldens.
+func TestAllocfreeTransitive(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "depalloc", "transhot")
+}
+
+// TestIntraproceduralMissesTransitive pins the v1 gap the fact-driven
+// analyzer closes: the intraprocedural variant, run over the same
+// fixture pair, reports nothing — every allocation in transhot's hot
+// functions hides behind a call.
+func TestIntraproceduralMissesTransitive(t *testing.T) {
+	diags := analysistest.Diagnostics(t, "testdata", allocfree.Intraprocedural, "depalloc", "transhot")
+	for _, d := range diags {
+		t.Errorf("intraprocedural allocfree unexpectedly reported: %s", d.Message)
+	}
+}

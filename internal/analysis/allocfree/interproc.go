@@ -1,0 +1,189 @@
+package allocfree
+
+// The interprocedural half of allocfree: every function in the package
+// is summarized (may it allocate? which static callees does it reach?),
+// the MayAlloc verdict is propagated over the package-local call graph
+// to a fixpoint, imported MayAlloc facts stand in for callees in other
+// packages, and verdicts for this package's functions are exported as
+// facts for its dependents. //smt:hotpath functions are then rejected
+// at every call whose target may allocate transitively.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"smtsim/internal/analysis/framework"
+)
+
+// MayAlloc marks a function that may allocate when called: directly, or
+// through some statically reachable callee. Why carries the
+// human-readable reason chain shown at the offending hot-path call.
+type MayAlloc struct{ Why string }
+
+// AFact marks MayAlloc as a framework fact.
+func (*MayAlloc) AFact() {}
+
+// maxWhyLen bounds the reason chain; deep chains truncate rather than
+// bloat fact files and diagnostics.
+const maxWhyLen = 220
+
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+type summary struct {
+	fn    *ast.FuncDecl
+	hot   bool
+	cold  bool
+	why   string // may-alloc reason; "" while presumed clean
+	edges []callEdge
+}
+
+func run(pass *framework.Pass, interproc bool) error {
+	sums := map[*types.Func]*summary{}
+	var order []*types.Func // declaration order, for deterministic output
+
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		dirs := framework.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &summary{fn: fn}
+			_, s.hot = framework.FuncDirective(fn, "hotpath")
+			_, s.cold = framework.FuncDirective(fn, "coldpath")
+			if !interproc && !s.hot {
+				continue // pre-v2 behavior: only annotated functions matter
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: fn}
+			if s.hot {
+				// Direct findings report immediately, as always.
+				c.sink = func(pos token.Pos, msg string) {
+					pass.Reportf(pos, "//smt:hotpath %s: %s", fn.Name.Name, msg)
+				}
+			} else {
+				// Summary mode: the first finding is the function's
+				// may-alloc reason; nothing is reported here.
+				c.sink = func(pos token.Pos, msg string) {
+					if s.why == "" {
+						s.why = truncate(fmt.Sprintf("%s (%s)", msg, shortPos(pass.Fset, pos)))
+					}
+				}
+			}
+			if interproc {
+				c.onCall = func(call *ast.CallExpr) {
+					if dirs.Allowed(pass.Fset, call.Pos(), "allow-alloc") {
+						return // the escape hatch severs the edge too
+					}
+					if callee := framework.CalleeFunc(pass.TypesInfo, call); callee != nil {
+						s.edges = append(s.edges, callEdge{pos: call.Pos(), callee: callee})
+					}
+				}
+			}
+			c.collectContext(fn.Body)
+			c.walk(fn.Body)
+			sums[obj] = s
+			order = append(order, obj)
+		}
+	}
+	if !interproc {
+		return nil
+	}
+
+	// calleeWhy resolves a callee's verdict: the local summary when the
+	// callee lives here, its imported fact otherwise. Annotated callees
+	// are clean by definition — //smt:hotpath is checked at its own
+	// declaration, //smt:coldpath is the audited off-cycle escape (both
+	// also never export facts, so the cross-package case agrees).
+	// Absent facts (stdlib, dynamic targets resolved elsewhere) read as
+	// clean: the AllocsPerRun guards own what the graph cannot see.
+	calleeWhy := func(callee *types.Func) string {
+		if s, ok := sums[callee]; ok {
+			if s.hot || s.cold {
+				return ""
+			}
+			return s.why
+		}
+		var f MayAlloc
+		if pass.ImportFact(callee, &f) {
+			return f.Why
+		}
+		return ""
+	}
+
+	// Propagate within the package to a fixpoint (handles call cycles:
+	// verdicts only ever flip clean→may-alloc, so this terminates).
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			s := sums[obj]
+			if s.hot || s.cold || s.why != "" {
+				continue
+			}
+			for _, e := range s.edges {
+				if w := calleeWhy(e.callee); w != "" {
+					s.why = truncate(fmt.Sprintf("calls %s: %s", funcLabel(pass, e.callee), w))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, obj := range order {
+		s := sums[obj]
+		if s.hot {
+			for _, e := range s.edges {
+				if w := calleeWhy(e.callee); w != "" {
+					pass.Reportf(e.pos, "//smt:hotpath %s: calls %s, which may allocate: %s",
+						s.fn.Name.Name, funcLabel(pass, e.callee), w)
+				}
+			}
+			continue
+		}
+		if !s.cold && s.why != "" {
+			pass.ExportFact(obj, &MayAlloc{Why: s.why})
+		}
+	}
+	return nil
+}
+
+// funcLabel renders a callee for diagnostics: Recv.Name or Name,
+// package-qualified when foreign.
+func funcLabel(pass *framework.Pass, fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := framework.NamedOf(recv.Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// shortPos renders a position as base-filename:line.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func truncate(s string) string {
+	if len(s) <= maxWhyLen {
+		return s
+	}
+	return s[:maxWhyLen] + "…"
+}

@@ -1,0 +1,21 @@
+// Package depalloc is the dependency half of the allocfree transitive
+// fixture: its exported functions allocate directly or one call deep,
+// so analyzing this package must export MayAlloc facts that the
+// consumer fixture (transhot) imports across the package boundary.
+package depalloc
+
+// Grow allocates directly.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// Wrap allocates only through Grow — the package-local fixpoint must
+// propagate Grow's verdict before Wrap's fact is exported.
+func Wrap(n int) []int {
+	return Grow(n)
+}
+
+// Clean is allocation-free; no fact is exported for it.
+func Clean(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,62 @@
+// Package transhot is the consumer half of the allocfree transitive
+// fixture: its hot functions never allocate directly, so only the
+// interprocedural analyzer — local call-graph fixpoint plus MayAlloc
+// facts imported from depalloc — can reject them. The companion test
+// also runs the Intraprocedural variant over this file and requires
+// silence, pinning exactly the gap v2 closes.
+package transhot
+
+import "depalloc"
+
+var sink []int
+
+// helper reaches an allocation only through the imported package.
+func helper(n int) {
+	sink = depalloc.Wrap(n)
+}
+
+// ping and pong allocate through a package-local call cycle; the
+// fixpoint must terminate and still find pong's make.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+	sink = make([]int, 1)
+}
+
+//smt:coldpath — fixture: audited off-cycle escape
+func coldDrain(n int) {
+	sink = make([]int, n)
+}
+
+//smt:hotpath — fixture
+func Step(n int) {
+	helper(n) // want `//smt:hotpath Step: calls helper, which may allocate: calls depalloc.Wrap: calls Grow: make`
+}
+
+//smt:hotpath — fixture
+func StepDirect(n int) {
+	sink = depalloc.Grow(n) // want `//smt:hotpath StepDirect: calls depalloc.Grow, which may allocate: make`
+}
+
+//smt:hotpath — fixture
+func StepCycle(n int) {
+	ping(n) // want `//smt:hotpath StepCycle: calls ping, which may allocate: calls pong: make`
+}
+
+//smt:hotpath — fixture
+func StepAllowed(n int) {
+	//smt:allow-alloc — fixture: audited startup-only growth
+	sink = depalloc.Grow(n)
+}
+
+//smt:hotpath — fixture
+func StepCold(n int) {
+	coldDrain(n) // coldpath callees are audited escapes, not findings
+}

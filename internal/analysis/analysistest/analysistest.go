@@ -31,27 +31,57 @@ import (
 	"strings"
 	"testing"
 
+	"smtsim/internal/analysis/facts"
 	"smtsim/internal/analysis/framework"
 	"smtsim/internal/analysis/load"
 )
 
 // Run applies analyzer a to each fixture package (named by import path
 // under testdata/src) and checks diagnostics against // want comments.
+// Packages are analyzed in the listed order against one shared fact
+// store, so a fact-driven analyzer sees dependency facts as long as
+// dependencies are listed before their dependents.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	facts.Register(a)
+	store := facts.NewSet()
 	l := newLoader(testdata)
 	for _, path := range pkgPaths {
-		pkg, err := l.loadPkg(path)
-		if err != nil {
-			t.Fatalf("loading fixture %s: %v", path, err)
-		}
-		var diags []framework.Diagnostic
-		pass := pkg.Pass(a, func(d framework.Diagnostic) { diags = append(diags, d) })
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("%s on %s: %v", a.Name, path, err)
-		}
+		diags, pkg := run(t, l, store, a, path)
 		check(t, pkg, diags)
 	}
+}
+
+// Diagnostics applies analyzer a to the fixture packages in order
+// (sharing one fact store, as Run does) and returns the diagnostics of
+// the last listed package, ignoring // want comments. Tests use it to
+// assert on raw output — e.g. that an analyzer variant stays silent on
+// a fixture whose goldens another variant matches.
+func Diagnostics(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) []framework.Diagnostic {
+	t.Helper()
+	facts.Register(a)
+	store := facts.NewSet()
+	l := newLoader(testdata)
+	var last []framework.Diagnostic
+	for _, path := range pkgPaths {
+		last, _ = run(t, l, store, a, path)
+	}
+	return last
+}
+
+func run(t *testing.T, l *loader, store *facts.Set, a *framework.Analyzer, path string) ([]framework.Diagnostic, *load.Package) {
+	t.Helper()
+	pkg, err := l.loadPkg(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	var diags []framework.Diagnostic
+	pass := pkg.Pass(a, func(d framework.Diagnostic) { diags = append(diags, d) })
+	facts.Attach(pass, store)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, path, err)
+	}
+	return diags, pkg
 }
 
 // loader resolves fixture packages testdata-first with a build-cache

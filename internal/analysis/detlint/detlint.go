@@ -10,6 +10,13 @@
 // bit-identity, which only holds if nothing on the cycle path consumes
 // an unstable order. detlint stops the whole class before it compiles.
 //
+// The same replay argument forbids concurrency constructs outright: a
+// `go` statement hands cycle-path state to the runtime scheduler,
+// `select` resolves ready cases by a runtime coin flip, and ranging
+// over a channel observes whatever order senders won the race in. The
+// simulator is single-goroutine by design (DESIGN.md §2); there is no
+// escape hatch for these.
+//
 // Escape hatch: //smt:allow-map-range on the offending line (or the
 // line above) for iterations that are provably order-independent, e.g.
 // draining a map into a slice that is sorted before use. Wall-clock and
@@ -28,7 +35,7 @@ import (
 // Analyzer is the detlint instance.
 var Analyzer = &framework.Analyzer{
 	Name: "detlint",
-	Doc:  "forbid map iteration, wall-clock reads, and global math/rand in cycle-path packages",
+	Doc:  "forbid map iteration, wall-clock reads, global math/rand, and concurrency constructs in cycle-path packages",
 	Run:  run,
 }
 
@@ -61,6 +68,12 @@ func run(pass *framework.Pass) error {
 				checkRange(pass, dirs, n)
 			case *ast.CallExpr:
 				checkCall(pass, n)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"goroutine launched in cycle-path package: the runtime scheduler's interleaving is not replay-stable")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select in cycle-path package: case choice among ready channels is randomized by the runtime")
 			}
 			return true
 		})
@@ -71,6 +84,12 @@ func run(pass *framework.Pass) error {
 func checkRange(pass *framework.Pass, dirs framework.LineDirectives, rng *ast.RangeStmt) {
 	tv := pass.TypesInfo.TypeOf(rng.X)
 	if tv == nil {
+		return
+	}
+	if _, isChan := tv.Underlying().(*types.Chan); isChan {
+		pass.Reportf(rng.Pos(),
+			"range over channel %s in cycle-path package: receive order depends on the runtime scheduler",
+			types.TypeString(tv, types.RelativeTo(pass.Pkg)))
 		return
 	}
 	if _, isMap := tv.Underlying().(*types.Map); !isMap {

@@ -48,3 +48,24 @@ func Rands() int {
 	r := rand.New(rand.NewSource(1)) // seeded source the caller owns
 	return r.Int() + rand.Int()      // want `process-global math/rand source: math/rand.Int`
 }
+
+// Concurrency exercises the scheduler-dependence rules: goroutines,
+// select, and channel ranges are forbidden outright on the cycle path.
+func Concurrency(ch chan int, done chan struct{}) int {
+	go func() { ch <- 1 }() // want `goroutine launched in cycle-path package`
+	select {                // want `select in cycle-path package`
+	case v := <-ch:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+// ChanRange exercises the range-over-channel rule.
+func ChanRange(ch chan int) int {
+	s := 0
+	for v := range ch { // want `range over channel chan int in cycle-path package`
+		s += v
+	}
+	return s
+}

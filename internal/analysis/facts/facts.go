@@ -1,0 +1,181 @@
+// Package facts carries analyzer facts across package boundaries: the
+// interprocedural half of the framework's Analyzer/Pass model
+// (mirroring golang.org/x/tools' analysis facts on the standard library
+// alone). A fact is attached to a types.Object while its declaring
+// package is analyzed and consumed — by type — when a dependent package
+// is analyzed later.
+//
+// Objects are named by (package path, object key), where the key is the
+// object's name for package-level declarations and "Recv.Method" for
+// methods: exactly the objects visible through export data, which is
+// all a cross-package consumer can ever resolve a callee to.
+//
+// The Set serializes to the vetx fact files the go vet unitchecker
+// protocol passes between package-level tool invocations (gob, with a
+// version header). A Set encodes everything it holds — its own
+// package's facts plus everything imported from dependencies — so a
+// consumer that only sees its direct dependencies' fact files still
+// observes the transitive closure. Decoding is deliberately tolerant:
+// unknown versions and undecodable payloads merge as empty rather than
+// failing the build, so stale fact files from older tool versions
+// degrade analyses to their intraprocedural verdicts instead of
+// breaking `go vet`.
+package facts
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+
+	"smtsim/internal/analysis/framework"
+)
+
+// Version identifies the wire format; mismatched files decode as empty.
+const Version = "smtlint.facts.v2"
+
+// Set is one analysis session's fact store, shared by every package the
+// session analyzes.
+type Set struct {
+	m map[factKey]framework.Fact
+}
+
+type factKey struct {
+	pkg      string // declaring package's import path
+	obj      string // ObjectKey of the object
+	analyzer string // exporting analyzer's name
+}
+
+// NewSet returns an empty store.
+func NewSet() *Set { return &Set{m: map[factKey]framework.Fact{}} }
+
+// ObjectKey names obj within its package: the bare name for
+// package-level functions and variables, "Recv.Method" for methods, or
+// "" for objects facts cannot address (locals, interface methods).
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			named := framework.NamedOf(recv.Type())
+			if named == nil {
+				return ""
+			}
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if obj.Pkg() != nil && obj.Parent() != nil && obj.Parent() != obj.Pkg().Scope() {
+		return "" // local object: never visible across packages
+	}
+	return obj.Name()
+}
+
+// Attach wires pass's fact hooks to s. Exported facts are recorded
+// under the declaring object's package (analyzers only export facts
+// about objects of the package under analysis); imports resolve against
+// everything the session has accumulated.
+func Attach(pass *framework.Pass, s *Set) {
+	pass.ExportObjectFact = func(obj types.Object, fact framework.Fact) {
+		if obj == nil || obj.Pkg() == nil || fact == nil {
+			return
+		}
+		key := ObjectKey(obj)
+		if key == "" {
+			return
+		}
+		s.m[factKey{
+			pkg:      framework.NormalizePkgPath(obj.Pkg().Path()),
+			obj:      key,
+			analyzer: pass.Analyzer.Name,
+		}] = fact
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact framework.Fact) bool {
+		if obj == nil || obj.Pkg() == nil || fact == nil {
+			return false
+		}
+		key := ObjectKey(obj)
+		if key == "" {
+			return false
+		}
+		stored, ok := s.m[factKey{
+			pkg:      framework.NormalizePkgPath(obj.Pkg().Path()),
+			obj:      key,
+			analyzer: pass.Analyzer.Name,
+		}]
+		if !ok || reflect.TypeOf(stored) != reflect.TypeOf(fact) {
+			return false
+		}
+		reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+		return true
+	}
+}
+
+// Register makes the analyzers' fact types known to gob so Sets holding
+// them can be encoded and decoded. Idempotent.
+func Register(analyzers ...*framework.Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// wireEntry is one serialized fact.
+type wireEntry struct {
+	Pkg      string
+	Object   string
+	Analyzer string
+	Fact     framework.Fact
+}
+
+// wireFile is the vetx payload.
+type wireFile struct {
+	Version string
+	Entries []wireEntry
+}
+
+// Encode serializes the whole store, deterministically ordered.
+func (s *Set) Encode() ([]byte, error) {
+	file := wireFile{Version: Version}
+	for k, f := range s.m {
+		file.Entries = append(file.Entries, wireEntry{Pkg: k.pkg, Object: k.obj, Analyzer: k.analyzer, Fact: f})
+	}
+	sort.Slice(file.Entries, func(i, j int) bool {
+		a, b := file.Entries[i], file.Entries[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(file); err != nil {
+		return nil, fmt.Errorf("facts: encoding: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a serialized store into s. Payloads this version cannot
+// read — other formats, unregistered fact types, the pre-v2 stub —
+// merge as empty: a missing fact only weakens an analysis to its
+// intraprocedural verdict, which must not fail the build.
+func (s *Set) Decode(data []byte) {
+	var file wireFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&file); err != nil {
+		return
+	}
+	if file.Version != Version {
+		return
+	}
+	for _, e := range file.Entries {
+		if e.Fact == nil {
+			continue
+		}
+		s.m[factKey{pkg: e.Pkg, obj: e.Object, analyzer: e.Analyzer}] = e.Fact
+	}
+}
+
+// Len reports the number of stored facts (driver tests).
+func (s *Set) Len() int { return len(s.m) }

@@ -10,13 +10,13 @@
 //
 //	//smt:NAME args — free-form reason
 //
-// Function-level directives (//smt:hotpath, //smt:coldpath, //smt:stage)
-// appear in a function's doc comment and change how analyzers treat the
-// whole function. Line-level directives (//smt:allow-alloc,
-// //smt:allow-map-range) are escape hatches: placed on the offending
-// line (trailing comment) or on the line directly above it, they
-// suppress one analyzer's diagnostics for that line and should carry a
-// reason after an em/en dash or "—".
+// Function-level directives (//smt:hotpath, //smt:coldpath, //smt:stage,
+// //smt:trusted-id) appear in a function's doc comment and change how
+// analyzers treat the whole function. Line-level directives
+// (//smt:allow-alloc, //smt:allow-map-range, //smt:trusted-id) are
+// escape hatches: placed on the offending line (trailing comment) or on
+// the line directly above it, they suppress one analyzer's diagnostics
+// for that line and should carry a reason after an em/en dash or "—".
 package framework
 
 import (
@@ -39,7 +39,19 @@ type Analyzer struct {
 	// pass.Report. A non-nil error aborts the whole run (driver bug or
 	// unusable input — not a finding).
 	Run func(*Pass) error
+	// FactTypes lists the concrete fact types the analyzer exports or
+	// imports (pointers to zero values). Drivers that persist facts
+	// register these for serialization; an analyzer with no FactTypes
+	// is purely intraprocedural.
+	FactTypes []Fact
 }
+
+// Fact is a datum an analyzer computes about a types.Object in one
+// package and consumes when analyzing a dependent package — the
+// mechanism that makes a per-package analyzer interprocedural. A fact
+// type must be a pointer to a struct with exported, gob-serializable
+// fields; AFact is a marker only.
+type Fact interface{ AFact() }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -57,11 +69,33 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// ExportObjectFact and ImportObjectFact are wired by drivers that
+	// carry facts across packages (the facts.Attach helper); both are
+	// nil under a facts-free driver, in which case ExportFact is a
+	// no-op and ImportFact always reports false — analyzers degrade to
+	// their intraprocedural verdicts.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	ImportObjectFact func(obj types.Object, fact Fact) bool
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportFact associates fact with obj (which must belong to the package
+// under analysis) for consumers in dependent packages.
+func (p *Pass) ExportFact(obj types.Object, fact Fact) {
+	if p.ExportObjectFact != nil {
+		p.ExportObjectFact(obj, fact)
+	}
+}
+
+// ImportFact copies the fact of fact's type previously exported for obj
+// into fact and reports whether one existed.
+func (p *Pass) ImportFact(obj types.Object, fact Fact) bool {
+	return p.ImportObjectFact != nil && p.ImportObjectFact(obj, fact)
 }
 
 // InTestFile reports whether pos lies in a _test.go file. The analyzers
@@ -168,6 +202,35 @@ func Deref(t types.Type) types.Type {
 func NamedOf(t types.Type) *types.Named {
 	n, _ := Deref(t).(*types.Named)
 	return n
+}
+
+// CalleeFunc resolves a call's static target — a package-level function
+// or a concrete method — or returns nil for builtins, type conversions,
+// and dynamic calls (func values, interface method calls), whose
+// targets a per-package analysis cannot name.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() != types.MethodVal {
+			return nil
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if types.IsInterface(Deref(recv.Type())) {
+			return nil // dynamic dispatch: the concrete target is unknown
+		}
+	}
+	return fn
 }
 
 // PkgFunc resolves a call target to a package-level function (receiver-

@@ -1,0 +1,226 @@
+// Package idsafe implements the id-staleness analyzer for the
+// structure-of-arrays cycle path. A uop id (uop.ID, an int32 into
+// uop.Bank) names a ROB slot, not an instruction: the slot is recycled
+// the moment it drains, so a stored id may outlive its referent. The
+// bank's discipline is that stale references identify themselves by
+// token mismatch — Reset zeroes GSeq (live sequence numbers start at
+// one) and flushes set Squashed — but only if the code holding the id
+// actually checks before touching the record.
+//
+// The rule: in a cycle-path package, a function that materializes a
+// record with uop.Bank.Get must read the result's GSeq or Squashed
+// token before (or in the same statement as) any other use of the
+// record. "Same statement" deliberately blesses the idiomatic combined
+// guard (`if !u.InIQ || u.Squashed { continue }`): the check is
+// flow-insensitive by position, a discipline gate rather than a
+// dataflow proof — simsan's per-cycle sweeps remain the runtime
+// authority.
+//
+// Escape hatch: //smt:trusted-id, in the function's doc comment or as
+// a line directive on the Get call, with a reason. It is the audited
+// claim that the id is live by construction — the owner structures
+// (ROB ring, IQ entry list, LSQ ring, DAB, dispatch buffer) only hold
+// live ids, so their accessors dereference without a token check.
+package idsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/policy"
+)
+
+// Analyzer is the idsafe instance.
+var Analyzer = &framework.Analyzer{
+	Name: "idsafe",
+	Doc:  "require a GSeq/Squashed token check before using a uop.Bank.Get record, with //smt:trusted-id as the audited escape",
+	Run:  run,
+}
+
+// bankPkg/bankType/getName identify the guarded accessor.
+const (
+	bankPkg  = "smtsim/internal/uop"
+	bankType = "Bank"
+	getName  = "Get"
+)
+
+// tokenFields are the staleness tokens; reading either counts as the
+// validation.
+var tokenFields = map[string]bool{"GSeq": true, "Squashed": true}
+
+func run(pass *framework.Pass) error {
+	if !policy.IsCyclePath(framework.NormalizePkgPath(pass.Pkg.Path())) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		dirs := framework.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, trusted := framework.FuncDirective(fn, "trusted-id"); trusted {
+				continue
+			}
+			checkFunc(pass, dirs, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, dirs framework.LineDirectives, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// bound maps each Get call that is the single RHS of an assignment
+	// to the variable receiving it; selofGet maps Get calls consumed
+	// directly through a selector (bank.Get(id).Field).
+	bound := map[*ast.CallExpr]*types.Var{}
+	selOfGet := map[*ast.CallExpr]*ast.SelectorExpr{}
+	var gets []*ast.CallExpr
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBankGet(info, n) {
+				gets = append(gets, n)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBankGet(info, call) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, _ := info.Defs[id].(*types.Var)
+				if v == nil {
+					v, _ = info.Uses[id].(*types.Var)
+				}
+				if v != nil {
+					bound[call] = v
+				}
+			}
+		case *ast.SelectorExpr:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isBankGet(info, call) {
+				selOfGet[call] = n
+			}
+		}
+		return true
+	})
+
+	for _, call := range gets {
+		if dirs.Allowed(pass.Fset, call.Pos(), "trusted-id") {
+			continue
+		}
+		if v, ok := bound[call]; ok {
+			checkBound(pass, fn, call, v)
+			continue
+		}
+		if sel, ok := selOfGet[call]; ok {
+			if tokenFields[sel.Sel.Name] {
+				continue // the direct use IS the token read
+			}
+			pass.Reportf(sel.Pos(),
+				"idsafe: field %s read through unvalidated uop.Bank.Get in %s: check GSeq/Squashed first, or annotate //smt:trusted-id with the liveness argument",
+				sel.Sel.Name, fn.Name.Name)
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"idsafe: uop.Bank.Get result escapes %s without a GSeq/Squashed check: bind and validate it, or annotate //smt:trusted-id with the liveness argument",
+			fn.Name.Name)
+	}
+}
+
+// checkBound enforces the rule for `u := bank.Get(id)`: the first use
+// of u after the binding must lie in a statement that also reads
+// u.GSeq or u.Squashed (or there must be no use at all).
+func checkBound(pass *framework.Pass, fn *ast.FuncDecl, call *ast.CallExpr, v *types.Var) {
+	info := pass.TypesInfo
+
+	var firstUse token.Pos = token.NoPos
+	var tokenReads []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok {
+			if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent && info.Uses[id] == v && tokenFields[sel.Sel.Name] {
+				tokenReads = append(tokenReads, sel.Pos())
+			}
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != v || id.Pos() <= call.End() {
+			return true
+		}
+		if firstUse == token.NoPos || id.Pos() < firstUse {
+			firstUse = id.Pos()
+		}
+		return true
+	})
+	if firstUse == token.NoPos {
+		return // bound but never touched
+	}
+	stmt := enclosingStmt(fn.Body, firstUse)
+	lo, hi := firstUse, firstUse
+	if stmt != nil {
+		lo, hi = stmt.Pos(), stmt.End()
+	}
+	for _, p := range tokenReads {
+		if p >= lo && p < hi {
+			return // validated within (or by) the first-use statement
+		}
+	}
+	pass.Reportf(firstUse,
+		"idsafe: %s from uop.Bank.Get is used before its GSeq/Squashed token is checked in %s: validate first, or annotate //smt:trusted-id with the liveness argument",
+		v.Name(), fn.Name.Name)
+}
+
+// enclosingStmt returns the innermost statement containing pos (the
+// statement an if-condition guard shares with the guarded body).
+func enclosingStmt(body *ast.BlockStmt, pos token.Pos) ast.Stmt {
+	var best ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || pos >= n.End() {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			if _, block := n.(*ast.BlockStmt); !block {
+				best = s
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// isBankGet reports whether call invokes uop.Bank's Get method.
+func isBankGet(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != getName {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := framework.NamedOf(recv.Type())
+	return named != nil && named.Obj().Name() == bankType &&
+		named.Obj().Pkg() != nil &&
+		framework.NormalizePkgPath(named.Obj().Pkg().Path()) == bankPkg
+}

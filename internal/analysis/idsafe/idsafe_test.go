@@ -1,0 +1,16 @@
+package idsafe_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/idsafe"
+)
+
+func TestIdsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", idsafe.Analyzer,
+		"smtsim/internal/uop",
+		"smtsim/internal/rob",
+		"smtsim/internal/trace",
+	)
+}

@@ -1,0 +1,78 @@
+// Package rob is an idsafe fixture on the cycle path, exercising the
+// token-check rule's violation and compliance shapes.
+package rob
+
+import "smtsim/internal/uop"
+
+// ROB holds a bank and stored ids whose referents may have drained.
+type ROB struct {
+	bank *uop.Bank
+	ids  []uop.ID
+}
+
+func consume(u *uop.UOp) {}
+
+// BadFirstUse touches a field before any token check.
+func (r *ROB) BadFirstUse(id uop.ID) int {
+	u := r.bank.Get(id)
+	return u.Thread // want `idsafe: u from uop.Bank.Get is used before its GSeq/Squashed token is checked in BadFirstUse`
+}
+
+// BadLateUse binds, then uses the record a statement later, unchecked.
+func (r *ROB) BadLateUse(id uop.ID) int {
+	u := r.bank.Get(id)
+	n := 0
+	n += int(u.ID) // want `idsafe: u from uop.Bank.Get is used before its GSeq/Squashed token is checked in BadLateUse`
+	return n
+}
+
+// BadWrite writes through an unvalidated direct selector.
+func (r *ROB) BadWrite(id uop.ID) {
+	r.bank.Get(id).Completed = true // want `idsafe: field Completed read through unvalidated uop.Bank.Get in BadWrite`
+}
+
+// BadEscape hands the record away without validating it.
+func (r *ROB) BadEscape(id uop.ID) {
+	consume(r.bank.Get(id)) // want `idsafe: uop.Bank.Get result escapes BadEscape without a GSeq/Squashed check`
+}
+
+// GoodGuard validates against both tokens before any other use.
+func (r *ROB) GoodGuard(id uop.ID, gseq uint64) int {
+	u := r.bank.Get(id)
+	if u.Squashed || u.GSeq != gseq {
+		return -1
+	}
+	return u.Thread
+}
+
+// GoodCombined is the pipeline's combined-guard idiom: the non-token
+// read shares its statement with the token read that blesses it.
+func (r *ROB) GoodCombined(id uop.ID) bool {
+	u := r.bank.Get(id)
+	if !u.InIQ || u.Squashed {
+		return false
+	}
+	return true
+}
+
+// GoodDirectToken reads a token field directly — that IS the check.
+func (r *ROB) GoodDirectToken(id uop.ID) bool {
+	return r.bank.Get(id).Squashed
+}
+
+// GoodPair binds two records; each first use is a token comparison.
+func (r *ROB) GoodPair(a, b uop.ID) bool {
+	ua, ub := r.bank.Get(a), r.bank.Get(b)
+	return ua.GSeq < ub.GSeq
+}
+
+//smt:trusted-id — fixture: ids come from the live ring by construction
+func (r *ROB) TrustedFunc(id uop.ID) int {
+	return r.bank.Get(id).Thread
+}
+
+// TrustedLine blesses one Get with a line directive.
+func (r *ROB) TrustedLine(id uop.ID) int {
+	u := r.bank.Get(id) //smt:trusted-id — fixture: caller validated id this cycle
+	return u.Thread
+}

@@ -1,0 +1,11 @@
+// Package trace is an idsafe fixture off the cycle path: the same
+// unvalidated access draws no diagnostic here.
+package trace
+
+import "smtsim/internal/uop"
+
+// Dump reads a record unchecked, legally: trace assembly runs between
+// cycles on quiesced state.
+func Dump(b *uop.Bank, id uop.ID) int {
+	return b.Get(id).Thread
+}

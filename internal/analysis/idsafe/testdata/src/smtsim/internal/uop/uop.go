@@ -1,0 +1,27 @@
+// Package uop is an idsafe fixture: a miniature stand-in for the real
+// slab shadowing its import path, so the analyzer's Bank.Get matching
+// sees the true package/type names.
+package uop
+
+// ID indexes a Bank slot.
+type ID = int32
+
+// UOp is the record a stale id could resurrect.
+type UOp struct {
+	ID        ID
+	GSeq      uint64
+	Thread    int
+	InIQ      bool
+	Squashed  bool
+	Completed bool
+}
+
+// Bank is the slab.
+type Bank struct {
+	slab []UOp
+}
+
+// Get materializes the record for id.
+func (b *Bank) Get(id ID) *UOp {
+	return &b.slab[id]
+}

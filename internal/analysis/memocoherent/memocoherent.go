@@ -1,0 +1,181 @@
+// Package memocoherent implements the memo-coherence analyzer. The SoA
+// cycle path memoizes provably repeat-identical scans (DESIGN.md §8):
+// the dispatcher's per-thread scan freeze over the dispatch buffer and
+// operand-readiness counters, and commit's per-thread skip mask over
+// ROB-head completion. A memo is only sound while every write to the
+// state it summarizes also invalidates it — exactly the bug class the
+// sanitizer's freeze-hides-dispatchable and commit-skip cross-checks
+// catch at cycle N, turned into a compile-time error at the write site.
+//
+// policy.Memos declares each memo: its validity field, the guarded
+// fields whose mutation must invalidate it, and the audited writer
+// list. A function may write a guarded field if it (a) appears in the
+// memo's Writers list — the reviewed claim that invalidation happens
+// on another, audited path — or (b) also writes the memo field
+// somewhere in its own body (Push bumping Buffer.gen, writeback
+// setting the commitable bit). Writes through index expressions
+// (d.bank.NotReady[i] = n) and wholesale pointer stores (*u = UOp{})
+// count as writes to the underlying guarded fields. Test files are
+// exempt: tests corrupt state on purpose and simsan watches them.
+package memocoherent
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/policy"
+)
+
+// Analyzer is the memocoherent instance.
+var Analyzer = &framework.Analyzer{
+	Name: "memocoherent",
+	Doc:  "require writes to memo-guarded state to invalidate the memo or come from a declared writer",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	self := framework.NormalizePkgPath(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, self, fn)
+		}
+	}
+	return nil
+}
+
+// fieldWrite is one write to a guarded field.
+type fieldWrite struct {
+	pos   ast.Node
+	field string // rendered pkg.Type.Field for the message
+}
+
+func checkFunc(pass *framework.Pass, self string, fn *ast.FuncDecl) {
+	// Collect every field written in the function body (including memo
+	// fields), then judge guarded writes against each memo's contract.
+	guarded := map[int][]fieldWrite{} // memo index -> writes
+	memoWritten := map[int]bool{}     // memo index -> its memo field is written here
+
+	record := func(lhs ast.Expr) {
+		for i := range policy.Memos {
+			m := &policy.Memos[i]
+			if ref, ok := resolveWrite(pass, lhs, m.Guarded); ok {
+				guarded[i] = append(guarded[i], fieldWrite{pos: lhs, field: ref.Pkg + "." + ref.Type + "." + ref.Field})
+			}
+			if _, ok := resolveWrite(pass, lhs, []policy.FieldRef{m.Memo}); ok {
+				memoWritten[i] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		}
+		return true
+	})
+
+	name := funcKey(fn)
+	for i, writes := range guarded {
+		m := &policy.Memos[i]
+		if memoWritten[i] || isDeclaredWriter(m, self, name) {
+			continue
+		}
+		for _, w := range writes {
+			pass.Reportf(w.pos.Pos(),
+				"memocoherent: %s writes %s, guarded by memo %q, without invalidating %s.%s.%s: write the memo field in this function or add %s.%s to the memo's writer list in policy.Memos",
+				name, w.field, m.Name, m.Memo.Pkg, m.Memo.Type, m.Memo.Field, self, name)
+		}
+	}
+}
+
+// resolveWrite reports whether an assignment target lhs writes one of
+// refs: a direct or index-qualified field selector, or a wholesale
+// store through a pointer to a struct type declaring a listed field.
+func resolveWrite(pass *framework.Pass, lhs ast.Expr, refs []policy.FieldRef) (policy.FieldRef, bool) {
+	info := pass.TypesInfo
+	lhs = ast.Unparen(lhs)
+
+	// *u = T{...}: a wholesale store writes every field of *u's type.
+	if star, ok := lhs.(*ast.StarExpr); ok {
+		named := framework.NamedOf(info.TypeOf(star))
+		if named == nil || named.Obj().Pkg() == nil {
+			return policy.FieldRef{}, false
+		}
+		pkg := framework.NormalizePkgPath(named.Obj().Pkg().Path())
+		for _, r := range refs {
+			if r.Pkg == pkg && r.Type == named.Obj().Name() {
+				return r, true
+			}
+		}
+		return policy.FieldRef{}, false
+	}
+
+	// q.entries[i] = x writes the entries field; peel index layers.
+	for {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			lhs = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return policy.FieldRef{}, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return policy.FieldRef{}, false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return policy.FieldRef{}, false
+	}
+	named := framework.NamedOf(s.Recv())
+	if named == nil {
+		return policy.FieldRef{}, false
+	}
+	pkg := framework.NormalizePkgPath(field.Pkg().Path())
+	for _, r := range refs {
+		if r.Pkg == pkg && r.Type == named.Obj().Name() && r.Field == field.Name() {
+			return r, true
+		}
+	}
+	return policy.FieldRef{}, false
+}
+
+func isDeclaredWriter(m *policy.MemoSpec, pkg, fnKey string) bool {
+	for _, w := range m.Writers {
+		if w.Pkg == pkg && w.Func == fnKey {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey renders a function as Recv.Name or Name, matching
+// policy.FuncRef.Func.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

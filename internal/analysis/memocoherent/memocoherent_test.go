@@ -1,0 +1,16 @@
+package memocoherent_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/memocoherent"
+)
+
+func TestMemocoherent(t *testing.T) {
+	analysistest.Run(t, "testdata", memocoherent.Analyzer,
+		"smtsim/internal/uop",
+		"smtsim/internal/core",
+		"smtsim/internal/pipeline",
+	)
+}

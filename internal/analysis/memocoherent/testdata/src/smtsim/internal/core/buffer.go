@@ -1,0 +1,26 @@
+// Package core is a memocoherent fixture stand-in: Buffer.gen is the
+// memo (content generation), the content fields are guarded by it.
+package core
+
+// Buffer is a ring whose scans are memoized against gen.
+type Buffer struct {
+	buf  []int32
+	head int
+	size int
+	gen  uint32
+}
+
+// Push mutates content and bumps the generation in the same body —
+// the self-invalidating shape needs no writer listing.
+func (b *Buffer) Push(id int32) {
+	b.buf[(b.head+b.size)%len(b.buf)] = id
+	b.size++
+	b.gen++
+}
+
+// BadDrop mutates content without invalidating the memo: a frozen scan
+// would keep describing entries that are gone.
+func (b *Buffer) BadDrop() {
+	b.head = (b.head + 1) % len(b.buf) // want `memocoherent: Buffer.BadDrop writes smtsim/internal/core.Buffer.head, guarded by memo "buffer-generation"`
+	b.size--                           // want `memocoherent: Buffer.BadDrop writes smtsim/internal/core.Buffer.size, guarded by memo "buffer-generation"`
+}

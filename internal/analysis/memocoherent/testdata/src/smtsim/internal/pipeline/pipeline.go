@@ -1,0 +1,37 @@
+// Package pipeline is the cross-package memocoherent fixture: its Core
+// owns the commit-skip mask memo and writes guarded state declared in
+// other packages.
+package pipeline
+
+import "smtsim/internal/uop"
+
+// Core carries the commit-skip mask.
+type Core struct {
+	bank       *uop.Bank
+	commitable uint64
+}
+
+// GoodWriteback completes a uop and sets the thread's skip-mask bit in
+// the same body (rule b: the write invalidates its own memo).
+func (c *Core) GoodWriteback(u *uop.UOp, t int) {
+	u.Completed = true
+	c.commitable |= 1 << uint(t)
+}
+
+// BadComplete completes a uop without touching the mask: commit would
+// keep skipping a thread whose head is now ready.
+func (c *Core) BadComplete(u *uop.UOp) {
+	u.Completed = true // want `memocoherent: Core.BadComplete writes smtsim/internal/uop.UOp.Completed, guarded by memo "commit-skip-mask"`
+}
+
+// rename is on the dispatch-scan-freeze memo's declared writer list:
+// counter initialization here is audited against the wakeup path.
+func (c *Core) rename(u *uop.UOp, nr int16) {
+	c.bank.NotReady[u.ID] = nr
+}
+
+// BadPoke mutates a readiness counter outside the audited paths: a
+// frozen scan would hide the instruction this wakes.
+func (c *Core) BadPoke(id int32) {
+	c.bank.NotReady[id]-- // want `memocoherent: Core.BadPoke writes smtsim/internal/uop.Bank.NotReady, guarded by memo "dispatch-scan-freeze"`
+}

@@ -1,0 +1,27 @@
+// Package uop is a memocoherent fixture stand-in shadowing the real
+// slab: UOp.Completed is guarded by the commit-skip mask, Bank.NotReady
+// by the dispatch-scan freeze.
+package uop
+
+// UOp is one record.
+type UOp struct {
+	ID        int32
+	Completed bool
+}
+
+// Bank holds the readiness counters the dispatch scan memoizes over.
+type Bank struct {
+	NotReady []int16
+}
+
+// Reset recycles a slot wholesale; it is on the commit-skip memo's
+// declared writer list.
+func (u *UOp) Reset() {
+	*u = UOp{}
+}
+
+// BadClobber performs the same wholesale store outside the audited
+// writer: every guarded field of UOp counts as written.
+func (u *UOp) BadClobber() {
+	*u = UOp{} // want `memocoherent: UOp.BadClobber writes smtsim/internal/uop.UOp.Completed, guarded by memo "commit-skip-mask"`
+}

@@ -21,7 +21,12 @@ import (
 // (internal/pipeline/bench_test.go), which asserts
 // testing.AllocsPerRun == 0 over steady-state Step; the leaf packages
 // additionally carry direct AllocsPerRun micro-guards (see the
-// alloc_test.go files in cache, bpred, fu, and fetch).
+// alloc_test.go files in cache, bpred, fu, fetch, and uop).
+//
+// The SoA slab entries (uop.Bank.Get, uop.UOp.Reset) are guarded
+// directly by TestBankHotOpsZeroAllocs (internal/uop/alloc_test.go) and
+// transitively by the pipeline bench guard, which drives them through
+// the dispatch-scan freeze and commit-skip mask paths every cycle.
 //
 // TestHotpathAnnotationsMatchManifest fails when an annotation is added
 // without updating this list — adding an entry is the reviewed promise
@@ -124,6 +129,8 @@ var hotpathManifest = []string{
 	"rob.ROB.Head",
 	"rob.ROB.IsHead",
 	"rob.ROB.PopHead",
+	"uop.Bank.Get",
+	"uop.UOp.Reset",
 }
 
 // TestHotpathAnnotationsMatchManifest parses the cycle-path packages and

@@ -10,8 +10,11 @@ import (
 	"smtsim/internal/analysis/allocfree"
 	"smtsim/internal/analysis/cyclepure"
 	"smtsim/internal/analysis/detlint"
+	"smtsim/internal/analysis/facts"
 	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/idsafe"
 	"smtsim/internal/analysis/load"
+	"smtsim/internal/analysis/memocoherent"
 	"smtsim/internal/analysis/statescope"
 )
 
@@ -21,18 +24,47 @@ var Analyzers = []*framework.Analyzer{
 	allocfree.Analyzer,
 	statescope.Analyzer,
 	cyclepure.Analyzer,
+	idsafe.Analyzer,
+	memocoherent.Analyzer,
 }
 
-// Run applies the whole suite to one loaded package and returns its
+func init() {
+	facts.Register(Analyzers...)
+}
+
+// Session is one lint run's cross-package state: the fact store that
+// lets allocfree's MayAlloc verdicts flow from a dependency to its
+// dependents. Standalone mode analyzes packages in dependency order
+// against one Session; the vettool driver reconstitutes an equivalent
+// Session per package from the .vetx files go vet hands it.
+type Session struct {
+	Facts *facts.Set
+}
+
+// NewSession returns a Session with an empty fact store.
+func NewSession() *Session {
+	return &Session{Facts: facts.NewSet()}
+}
+
+// Run applies the whole suite to one loaded package, accumulating and
+// consuming facts through the session store, and returns the package's
 // diagnostics sorted by position.
-func Run(pkg *load.Package) ([]framework.Diagnostic, error) {
+func (s *Session) Run(pkg *load.Package) ([]framework.Diagnostic, error) {
 	var diags []framework.Diagnostic
 	for _, a := range Analyzers {
 		pass := pkg.Pass(a, func(d framework.Diagnostic) { diags = append(diags, d) })
+		facts.Attach(pass, s.Facts)
 		if err := a.Run(pass); err != nil {
 			return diags, err
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// Run applies the suite to one package in a fresh single-package
+// session (no imported facts); callers analyzing a dependency graph
+// should hold a Session and call its Run in dependency order instead.
+func Run(pkg *load.Package) ([]framework.Diagnostic, error) {
+	return NewSession().Run(pkg)
 }

@@ -1,0 +1,21 @@
+// Package fu carries the seeded transitive-allocation violation: its
+// hot path allocates only through the imported scratch package, so an
+// intraprocedural allocfree passes it and only the fact-driven analyzer
+// rejects it.
+package fu
+
+import "smtsim/internal/scratch"
+
+var sink []int
+
+// fill hides the allocation one local call deeper.
+func fill(n int) {
+	sink = scratch.Wrap(n)
+}
+
+// Tick is the seeded violation: clean body, allocating closure.
+//
+//smt:hotpath
+func Tick(n int) {
+	fill(n)
+}

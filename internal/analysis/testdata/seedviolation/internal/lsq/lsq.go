@@ -1,0 +1,19 @@
+// Package lsq carries the seeded id-staleness violation: a cycle-path
+// import path, a stored id dereferenced with no GSeq/Squashed check and
+// no //smt:trusted-id audit.
+package lsq
+
+import "smtsim/internal/uop"
+
+// Tracker remembers an id past its referent's lifetime.
+type Tracker struct {
+	bank *uop.Bank
+	last uop.ID
+}
+
+// Thread is the seeded violation: the slot behind last may have been
+// recycled since it was stored.
+func (t *Tracker) Thread() int {
+	u := t.bank.Get(t.last)
+	return u.Thread
+}

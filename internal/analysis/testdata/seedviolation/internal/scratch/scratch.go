@@ -1,0 +1,16 @@
+// Package scratch is the dependency half of the seeded transitive
+// allocation: nothing here is annotated, so the only way the vettool
+// can reject internal/fu is by exporting MayAlloc facts from this
+// package's analysis and reading them back — in a different process —
+// when fu is analyzed. That is the fact round-trip the tests pin.
+package scratch
+
+// Grow allocates directly.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// Wrap allocates only through Grow.
+func Wrap(n int) []int {
+	return Grow(n)
+}

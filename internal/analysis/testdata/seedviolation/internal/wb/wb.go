@@ -1,0 +1,12 @@
+// Package wb carries the seeded memo-coherence violation: it completes
+// a uop — state guarded by the commit-skip mask memo — while neither
+// writing the mask nor appearing on the memo's declared writer list.
+package wb
+
+import "smtsim/internal/uop"
+
+// Complete is the seeded violation: the thread's commit-skip bit keeps
+// claiming the head is incomplete.
+func Complete(u *uop.UOp) {
+	u.Completed = true
+}

@@ -63,6 +63,7 @@ func (b *Buffer) Push(u *uop.UOp) {
 // At returns the i-th oldest buffered instruction (0 = oldest).
 //
 //smt:hotpath
+//smt:trusted-id — b.buf[head..head+size) holds only resident ids; Push adds, RemoveAt deletes
 func (b *Buffer) At(i int) *uop.UOp {
 	if i < 0 || i >= b.size {
 		panic("core: buffer index out of range")

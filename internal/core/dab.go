@@ -79,6 +79,8 @@ func (d *DAB) Remove(u *uop.UOp) {
 }
 
 // DrainThread removes all of thread t's occupants (watchdog flush path).
+//
+//smt:trusted-id — scans d.entries, which holds only resident ids
 func (d *DAB) DrainThread(t int) []*uop.UOp {
 	var out []*uop.UOp
 	kept := d.entries[:0]

@@ -259,6 +259,7 @@ const (
 func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob.ROB) int {
 	if !d.taintReady {
 		for t := range d.taint {
+			//smt:allow-alloc — one-time lazy sizing against the regfile on the first Run; steady state never re-enters
 			d.taint[t].init(rf)
 		}
 		d.taintReady = true

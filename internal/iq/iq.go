@@ -237,6 +237,7 @@ func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 // back-index stored on the UOp at Insert.
 //
 //smt:hotpath
+//smt:trusted-id — q.entries holds only resident ids: Insert adds, Remove/DrainThread delete, so the moved entry is live
 func (q *Queue) Remove(u *uop.UOp) {
 	i := int(u.IQSlot)
 	if !u.InIQ || i >= len(q.entries) || q.entries[i] != u.ID {
@@ -358,6 +359,7 @@ func (q *Queue) ReadyOldestFirst(rf *regfile.File, scratch []int32) []int32 {
 //smt:hotpath
 func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []int32, pol SelectPolicy, tick int64) []int32 {
 	if !q.event {
+		//smt:allow-alloc — polled-mode fallback only: sort.Slice boxes its argument (see readyPolled doc); the event-driven path is the measured steady state
 		return q.readyPolled(rf, scratch, pol, tick)
 	}
 	out := scratch[:0]
@@ -389,6 +391,8 @@ func (q *Queue) ReadyOrdered(rf *regfile.File, scratch []int32, pol SelectPolicy
 // cross-check; it is off the zero-alloc hot path (sort.Slice boxes its
 // argument and allocates the comparator closure), which is why it lives
 // outside the //smt:hotpath annotation.
+//
+//smt:trusted-id — scans q.entries and its own ready subset; both hold only resident ids
 func (q *Queue) readyPolled(rf *regfile.File, scratch []int32, pol SelectPolicy, tick int64) []int32 {
 	ready := scratch[:0]
 	for _, id := range q.entries {
@@ -422,6 +426,8 @@ func (q *Queue) readyPolled(rf *regfile.File, scratch []int32, pol SelectPolicy,
 
 // DrainThread removes and returns every entry belonging to thread t
 // (watchdog flush path).
+//
+//smt:trusted-id — scans q.entries, which holds only resident ids
 func (q *Queue) DrainThread(t int) []*uop.UOp {
 	var out []*uop.UOp
 	kept := q.entries[:0]
@@ -473,6 +479,8 @@ func (q *Queue) MeanOccupancy() float64 {
 }
 
 // ForEach visits all entries in arbitrary order.
+//
+//smt:trusted-id — scans q.entries, which holds only resident ids
 func (q *Queue) ForEach(fn func(*uop.UOp)) {
 	for _, id := range q.entries {
 		fn(q.bank.Get(id))
@@ -491,6 +499,8 @@ func (q *Queue) ReadyLen() int { return len(q.ready) }
 // file poll and that the incremental ready list is exactly the
 // age-sorted set of entries whose counters reached zero. Returns an
 // error describing the first violation.
+//
+//smt:trusted-id — invariant sweep over q.entries and q.ready; residency itself is what it verifies
 func (q *Queue) CheckInvariants(rf *regfile.File) error {
 	var used [NumClasses]int
 	perThread := make([]int, len(q.perThread))

@@ -117,6 +117,8 @@ func (q *LSQ) DrainYoungerThan(gseq uint64) {
 }
 
 // ForEach visits occupied entries oldest-first (invariant checks).
+//
+//smt:trusted-id — ring identity: every visited slot lies in [head, head+size), occupied by construction
 func (q *LSQ) ForEach(fn func(*uop.UOp)) {
 	for i := 0; i < q.size; i++ {
 		slot := q.head + i
@@ -128,6 +130,8 @@ func (q *LSQ) ForEach(fn func(*uop.UOp)) {
 }
 
 // DrainAll empties the queue (watchdog flush path).
+//
+//smt:trusted-id — ring identity: q.id[head] is occupied whenever size > 0
 func (q *LSQ) DrainAll() {
 	for q.size > 0 {
 		q.bank.Get(q.id[q.head]).LSQSlot = -1
@@ -168,6 +172,7 @@ const (
 // (correct forwarding source).
 //
 //smt:hotpath
+//smt:trusted-id — ring identity: the scan stays below the load's own occupied slot, so every id read is resident
 func (q *LSQ) CheckLoad(ld *uop.UOp) LoadDisposition {
 	if q.stores == 0 {
 		return LoadGoesToCache

@@ -254,6 +254,7 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 		// not-ready counters through the consumer bitmaps and notifies
 		// the scheduler when an operand count reaches zero.
 		c.rf.AttachWakeup(bank.Cap(), bank.NotReady, func(id int32) {
+			//smt:trusted-id — SetReady fires only for ids on a consumer watch list, pruned on squash/commit before the slot recycles
 			c.q.UOpReady(bank.Get(id))
 		})
 	}
@@ -322,6 +323,8 @@ func (c *Core) Sanitizer() *simsan.Checker { return c.san }
 func (c *Core) SanitizerError() error { return c.sanErr }
 
 // sanitize runs the end-of-cycle invariant sweep.
+//
+//smt:coldpath — diagnostic sweep: runs only with a sanitizer attached, never in measured configurations
 func (c *Core) sanitize() {
 	err := c.san.CheckCycle(c.cycle)
 	if err == nil && c.commitSkip {
@@ -672,6 +675,7 @@ func (c *Core) issue() int {
 			if budget == 0 {
 				break
 			}
+			//smt:trusted-id — dab.Entries() lists only current occupants; Remove below keeps the set exact within this loop
 			u := c.bank.Get(id)
 			if !c.fus.TryIssue(u.Inst.Class, c.cycle) {
 				continue
@@ -895,6 +899,8 @@ func (c *Core) fetchThread(t, budget int) int {
 // instructions (renamed and fetched-but-unrenamed alike) are squashed,
 // rename state rewinds to the committed architectural map, and the
 // squashed instructions are queued for refetch in program order.
+//
+//smt:coldpath — watchdog recovery: fires on detected deadlock, orders of magnitude off the cycle cadence
 func (c *Core) flushAll() {
 	for t := 0; t < c.nthreads; t++ {
 		ts := &c.threads[t]

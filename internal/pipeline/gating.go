@@ -126,6 +126,8 @@ func (c *Core) forgetLoad(u *uop.UOp) {
 // table by undoing mappings youngest-first, and queues the squashed
 // instructions for refetch. This is the FLUSH mechanism's partial squash;
 // the watchdog's flushAll is the degenerate whole-thread case.
+//
+//smt:coldpath — squash recovery: runs per flush event, not per cycle; the refetch list is the event's cost
 func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 	t := pivot.Thread
 	ts := &c.threads[t]

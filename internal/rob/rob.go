@@ -53,6 +53,7 @@ func (r *ROB) CanAlloc(n int) bool { return r.size+n <= r.cap }
 // squash paths keep reading the record after releasing it.
 //
 //smt:hotpath
+//smt:trusted-id — fresh slot: id = base+slot is being (re)initialized by Reset, not dereferenced stale
 func (r *ROB) Alloc() *uop.UOp {
 	if r.size == r.cap {
 		panic("rob: overflow")
@@ -70,6 +71,7 @@ func (r *ROB) Alloc() *uop.UOp {
 // Head returns the oldest in-flight UOp, or nil if empty.
 //
 //smt:hotpath
+//smt:trusted-id — ring identity: base+head indexes an occupied slot whenever size > 0
 func (r *ROB) Head() *uop.UOp {
 	if r.size == 0 {
 		return nil
@@ -81,6 +83,7 @@ func (r *ROB) Head() *uop.UOp {
 // The record stays readable until the slot is next allocated.
 //
 //smt:hotpath
+//smt:trusted-id — ring identity: base+head indexes an occupied slot whenever size > 0
 func (r *ROB) PopHead() *uop.UOp {
 	if r.size == 0 {
 		return nil
@@ -106,6 +109,8 @@ func (r *ROB) IsHead(u *uop.UOp) bool {
 
 // PopTail releases the youngest slot and returns its record; nil if
 // empty. Used by selective-squash paths, which unwind from the tail.
+//
+//smt:trusted-id — ring identity: base+head+size-1 indexes an occupied slot whenever size > 0
 func (r *ROB) PopTail() *uop.UOp {
 	if r.size == 0 {
 		return nil
@@ -119,6 +124,8 @@ func (r *ROB) PopTail() *uop.UOp {
 }
 
 // Tail returns the youngest entry without removing it; nil if empty.
+//
+//smt:trusted-id — ring identity: base+head+size-1 indexes an occupied slot whenever size > 0
 func (r *ROB) Tail() *uop.UOp {
 	if r.size == 0 {
 		return nil
@@ -152,6 +159,8 @@ func (r *ROB) DrainAll() []*uop.UOp {
 }
 
 // ForEach visits in-flight entries oldest-first.
+//
+//smt:trusted-id — ring identity: every visited slot lies in [head, head+size), occupied by construction
 func (r *ROB) ForEach(fn func(*uop.UOp)) {
 	for i := 0; i < r.size; i++ {
 		slot := r.head + i
@@ -167,6 +176,8 @@ func (r *ROB) ForEach(fn func(*uop.UOp)) {
 // id matches its slot, and allocation order equals program order
 // (strictly ascending rename sequence from head to tail). It returns an
 // error describing the first violation.
+//
+//smt:trusted-id — invariant sweep over occupied ring slots; slot/id agreement is what it verifies
 func (r *ROB) CheckInvariants(thread int) error {
 	var prev uint64
 	for i := 0; i < r.size; i++ {
