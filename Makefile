@@ -3,7 +3,8 @@
 .PHONY: verify bench test vet lint race
 
 # verify is the tier-1 flow: vet, lint, build, the full test suite, and
-# the race detector over the concurrent sweep harness.
+# the race detector over the concurrent sweep harness, the sweep
+# service, and the cell store.
 verify: vet lint test race
 
 vet:
@@ -25,7 +26,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/sweep/...
+	go test -race ./internal/sweep/... ./internal/sweepd/... ./internal/cellstore/...
 
 # bench records the hot-path benchmarks (end-to-end machine + issue
 # queue, with -benchmem, 5 samples) to $(BENCH_OUT). Override the

@@ -15,6 +15,7 @@ import (
 
 	"smtsim/internal/report"
 	"smtsim/internal/sweep"
+	"smtsim/internal/sweepd"
 )
 
 func main() {
@@ -25,12 +26,20 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		check    = flag.Bool("check", false, "verify the paper's shape targets and exit non-zero on failure")
+		server   = flag.String("server", "", "resolve cells through a smtsweepd URL instead of simulating in process")
 	)
 	flag.Parse()
 
 	o := sweep.Options{Budget: *budget, Warmup: *warmup, Seed: *seed, Parallelism: *parallel}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *server != "" {
+		client := &sweepd.Client{Base: *server}
+		if *verbose {
+			client.Progress = o.Progress
+		}
+		o.Runner = client.RunCells
 	}
 
 	start := time.Now()

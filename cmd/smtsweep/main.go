@@ -6,6 +6,11 @@
 //
 // Figure ids: fig1, fig3..fig8 (the evaluation figures), and the
 // statistics sweeps: stalls, residency, hdi, filter, classify.
+//
+// With -server, cells resolve through a running smtsweepd instead of
+// simulating in process: previously computed cells come back from its
+// content-addressed store, only novel ones simulate, and the rendered
+// output is bit-identical to the in-process path.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"smtsim"
 	"smtsim/internal/sweep"
+	"smtsim/internal/sweepd"
 )
 
 func main() {
@@ -27,6 +33,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		bars     = flag.Bool("bars", false, "render as ASCII bar chart")
 		csv      = flag.Bool("csv", false, "emit CSV for external plotting")
+		server   = flag.String("server", "", "resolve cells through a smtsweepd URL instead of simulating in process")
 	)
 	flag.Parse()
 
@@ -48,6 +55,13 @@ func main() {
 	o := sweep.Options{Budget: *budget, Seed: *seed, Parallelism: *parallel}
 	if *verbose {
 		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *server != "" {
+		client := &sweepd.Client{Base: *server}
+		if *verbose {
+			client.Progress = o.Progress
+		}
+		o.Runner = client.RunCells
 	}
 
 	var (

@@ -1,0 +1,271 @@
+package cellstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smtsim"
+)
+
+func testSpec(bench string, iq int) Spec {
+	return Spec{
+		Benchmarks: []string{bench, "gzip"},
+		Scheduler:  smtsim.TwoOpOOOD.String(),
+		IQSize:     iq,
+		Budget:     1000,
+		Warmup:     500,
+		Seed:       2,
+	}
+}
+
+func testResult(ipc float64) smtsim.Result {
+	return smtsim.Result{
+		Cycles:    1234,
+		Committed: 1000,
+		IPC:       ipc,
+		Threads: []smtsim.ThreadResult{
+			{Benchmark: "equake", Committed: 600, IPC: ipc / 2},
+			{Benchmark: "gzip", Committed: 400, IPC: ipc / 2},
+		},
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	a := testSpec("equake", 64)
+	b := a
+	b.FetchGate = "none" // alias of ""
+	if a.Key() != b.Key() {
+		t.Errorf("gate alias changes key: %s vs %s", a.Key(), b.Key())
+	}
+	c := a
+	c.IQSize = 96
+	if a.Key() == c.Key() {
+		t.Error("different IQ sizes share a key")
+	}
+	d := a
+	d.Benchmarks = []string{"gzip", "equake"} // thread order matters
+	if a.Key() == d.Key() {
+		t.Error("reordered benchmarks share a key")
+	}
+	if len(a.Key()) != 64 {
+		t.Errorf("key %q is not hex sha256", a.Key())
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("equake", 64)
+	want := testResult(1.5)
+	hash, err := s.Put(spec, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(hash)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if got.Cycles != want.Cycles || got.IPC != want.IPC || len(got.Threads) != 2 {
+		t.Errorf("round trip mutated result: %+v", got)
+	}
+
+	// A fresh Store over the same directory must see the record (disk,
+	// not just the in-process index).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok, err := s2.Get(hash)
+	if err != nil || !ok {
+		t.Fatalf("Get after reopen: ok=%v err=%v", ok, err)
+	}
+	if got2.Cycles != want.Cycles || got2.Threads[0].IPC != want.Threads[0].IPC {
+		t.Errorf("reopened result mutated: %+v", got2)
+	}
+}
+
+func TestStoreCrossProcessVisibility(t *testing.T) {
+	// Two Stores over one directory model two worker processes: a put
+	// through one must be visible to a Get on the other without reopen.
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("twolf", 32)
+	hash, err := a.Put(spec, testResult(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := b.Get(hash); err != nil || !ok {
+		t.Fatalf("cross-store Get: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA := testSpec("equake", 64)
+	specB := testSpec("twolf", 64)
+	hashA, err := s.Put(specA, testResult(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashB, err := s.Put(specB, testResult(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail of every shard: simulate a writer killed mid-append.
+	shards, _ := filepath.Glob(filepath.Join(dir, "shards", "*.jsonl"))
+	if len(shards) == 0 {
+		t.Fatal("no shards written")
+	}
+	for _, p := range shards {
+		f, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"hash":"deadbeef","spec":{"benchm`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tails: %v", err)
+	}
+	if got := s2.StatsSnapshot().TornTails; got != int64(len(shards)) {
+		t.Errorf("TornTails = %d, want %d", got, len(shards))
+	}
+	for _, h := range []string{hashA, hashB} {
+		if _, ok, err := s2.Get(h); err != nil || !ok {
+			t.Errorf("record %s lost to torn-tail recovery: ok=%v err=%v", h[:8], ok, err)
+		}
+	}
+	// The torn bytes are gone from disk.
+	for _, p := range shards {
+		b, _ := os.ReadFile(p)
+		if strings.Contains(string(b), "deadbeef") {
+			t.Errorf("torn tail survives in %s", p)
+		}
+	}
+}
+
+func TestManifestSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "MANIFEST.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999, "prefix_len": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("schema-mismatched store opened without error")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	s.Now = func() time.Time { return now }
+	hash := testSpec("equake", 64).Key()
+
+	if ok, err := s.TryLease(hash, "w1", time.Second); err != nil || !ok {
+		t.Fatalf("fresh lease: ok=%v err=%v", ok, err)
+	}
+	// A live lease repels other owners but renews for its holder.
+	if ok, _ := s.TryLease(hash, "w2", time.Second); ok {
+		t.Error("live lease stolen by w2")
+	}
+	if ok, _ := s.TryLease(hash, "w1", time.Second); !ok {
+		t.Error("holder could not renew")
+	}
+	// Expiry opens the lease to stealing.
+	now = now.Add(2 * time.Second)
+	if ok, err := s.TryLease(hash, "w2", time.Second); err != nil || !ok {
+		t.Fatalf("expired lease not stolen: ok=%v err=%v", ok, err)
+	}
+	if got := s.StatsSnapshot().LeasesStolen; got != 1 {
+		t.Errorf("LeasesStolen = %d, want 1", got)
+	}
+	if owner, _, ok := s.LeaseHolder(hash); !ok || owner != "w2" {
+		t.Errorf("holder = %q, %v", owner, ok)
+	}
+	// Release is owner-checked.
+	if err := s.Release(hash, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.LeaseHolder(hash); !ok {
+		t.Error("foreign release dropped the lease")
+	}
+	if err := s.Release(hash, "w2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.LeaseHolder(hash); ok {
+		t.Error("lease survives owner release")
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec("equake", 48)
+	if _, err := s.Put(spec, testResult(1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(spec, testResult(1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len = %d after duplicate put", n)
+	}
+	path, _ := s.shardPath(spec.Key())
+	b, _ := os.ReadFile(path)
+	if got := strings.Count(string(b), "\n"); got != 1 {
+		t.Errorf("%d lines on disk after duplicate put, want 1", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := testSpec("equake", 64)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Spec){
+		"no-benchmarks": func(s *Spec) { s.Benchmarks = nil },
+		"bad-scheduler": func(s *Spec) { s.Scheduler = "quantum" },
+		"zero-iq":       func(s *Spec) { s.IQSize = 0 },
+		"zero-budget":   func(s *Spec) { s.Budget = 0 },
+	} {
+		s := testSpec("equake", 64)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+}

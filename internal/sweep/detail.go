@@ -97,33 +97,27 @@ func MemoryLatencySweep(threads, iqSize int, latencies []int, o Options) (Table,
 		Title: fmt.Sprintf("OOO dispatch over 2OP_BLOCK vs memory latency, %d threads, IQ=%d", threads, iqSize),
 		Note:  "harmonic mean of per-mix IPC ratios over the 12 paper mixes",
 	}
-	row := make([]float64, len(latencies))
-	for j, lat := range latencies {
+	var cells []cell
+	for _, lat := range latencies {
 		t.Cols = append(t.Cols, fmt.Sprintf("%d cyc", lat))
+		for _, sched := range []smtsim.Scheduler{smtsim.TwoOpBlock, smtsim.TwoOpOOOD} {
+			for _, mix := range mixes {
+				cells = append(cells, cell{mix: mix, sched: sched, iq: iqSize, memLat: lat})
+			}
+		}
+	}
+	flat, err := runCells(cells, o)
+	if err != nil {
+		return Table{}, err
+	}
+	row := make([]float64, len(latencies))
+	for j := range latencies {
 		base := make([]float64, len(mixes))
 		ooo := make([]float64, len(mixes))
-		// Memory latency is not part of the parallel cell runner's
-		// configuration surface, so run these cells directly.
-		for m, mix := range mixes {
-			for k, sched := range []smtsim.Scheduler{smtsim.TwoOpBlock, smtsim.TwoOpOOOD} {
-				res, err := smtsim.Run(smtsim.Config{
-					Benchmarks:         mix.Benchmarks,
-					IQSize:             iqSize,
-					Scheduler:          sched,
-					MemoryLatency:      lat,
-					MaxInstructions:    o.budget(),
-					WarmupInstructions: o.warmup(),
-					Seed:               o.Seed + 1,
-				})
-				if err != nil {
-					return Table{}, err
-				}
-				if k == 0 {
-					base[m] = res.IPC
-				} else {
-					ooo[m] = res.IPC
-				}
-			}
+		off := j * 2 * len(mixes)
+		for m := range mixes {
+			base[m] = flat[off+m].IPC
+			ooo[m] = flat[off+len(mixes)+m].IPC
 		}
 		row[j] = speedupRow(ooo, base)
 	}

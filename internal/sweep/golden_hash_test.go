@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smtsim/internal/cellstore"
+)
+
+var updateHashes = flag.Bool("update", false, "rewrite the cell hash golden file")
+
+// TestTable1HashGolden pins the content hash of every cell in the
+// paper's headline sweep against a checked-in golden file. The hashes
+// cover the whole input surface — Config canonicalization, the spec's
+// JSON schema, the seed derivation, the schema version — so ANY drift
+// in how cells are described shows up here before it can reach a
+// store.
+//
+// If this test fails and the schema version in the golden header
+// matches cellstore.SchemaVersion, cell canonicalization drifted
+// silently: old caches would have served results for inputs that no
+// longer mean the same thing. Bump cellstore.SchemaVersion (old stores
+// then refuse to open instead of serving stale cells), THEN re-bless
+// with -update.
+func TestTable1HashGolden(t *testing.T) {
+	specs, err := Table1Specs(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %d\n", cellstore.SchemaVersion)
+	for _, s := range specs {
+		fmt.Fprintf(&b, "%s %s iq=%d %s\n", s.Key(), s.Scheduler, s.IQSize, strings.Join(s.Benchmarks, ","))
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "table1_hashes.golden")
+	if *updateHashes {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d cells)", golden, len(specs))
+		return
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+
+	wantSchema := ""
+	if i := strings.IndexByte(want, '\n'); i > 0 {
+		wantSchema = want[:i]
+	}
+	gotSchema := fmt.Sprintf("schema %d", cellstore.SchemaVersion)
+	if wantSchema != gotSchema {
+		t.Fatalf("cell schema moved from %q to %q: hashes are expected to change — re-bless with -update", wantSchema, gotSchema)
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("cell hash drifted at line %d without a schema bump:\n got: %q\nwant: %q\n\nold caches could silently serve stale results for these cells.\nBump cellstore.SchemaVersion first, then re-bless with -update.", i+1, g, w)
+		}
+	}
+	t.Fatal("hash golden differs in length only — bump cellstore.SchemaVersion and re-bless with -update")
+}

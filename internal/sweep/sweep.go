@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"smtsim"
+	"smtsim/internal/cellstore"
 	"smtsim/internal/metrics"
 	"smtsim/internal/workload"
 )
@@ -41,7 +42,19 @@ type Options struct {
 	Parallelism int
 	// Progress, when non-nil, receives a line per completed cell.
 	Progress func(string)
+	// Runner, when non-nil, replaces the in-process cell executor:
+	// every figure and statistic routes its simulation cells through it
+	// as content-addressed specs, in cell order. This is how
+	// `smtsweep -server` turns a sweep into sweepd requests — the specs
+	// are identical to the ones the local path simulates, so results
+	// are bit-identical by construction.
+	Runner CellRunner
 }
+
+// CellRunner executes a batch of simulation cells and returns their
+// results in spec order. Implementations must be deterministic in the
+// specs alone (the local runner and the sweepd client both are).
+type CellRunner func(specs []cellstore.Spec) ([]smtsim.Result, error)
 
 func (o Options) budget() uint64 {
 	if o.Budget == 0 {
@@ -73,17 +86,61 @@ func (o Options) workers() int {
 
 // cell is one simulation in a sweep.
 type cell struct {
-	mix   workload.Mix
-	sched smtsim.Scheduler
-	iq    int
-	gate  string // fetch gate ("" = none)
+	mix    workload.Mix
+	sched  smtsim.Scheduler
+	iq     int
+	gate   string // fetch gate ("" = none)
+	memLat int    // memory latency override (0 = Table 1's)
+}
+
+// spec renders the cell as its content-addressed description. This is
+// the single place sweep cells become simulator inputs: the local
+// runner, the sweepd client, and the hash golden test all go through
+// it, so a drift here moves every cell hash and trips the golden.
+func (c cell) spec(o Options) cellstore.Spec {
+	return cellstore.Spec{
+		Benchmarks:    c.mix.Benchmarks,
+		Scheduler:     c.sched.String(),
+		IQSize:        c.iq,
+		FetchGate:     c.gate,
+		MemoryLatency: c.memLat,
+		Budget:        o.budget(),
+		Warmup:        o.warmup(),
+		Seed:          o.Seed + 1,
+	}.Canonical()
+}
+
+// SimulateSpec runs one content-addressed cell in process. sweepd's
+// workers and the local sweep path share this entry point, which is
+// what makes a cached cell bit-identical to a fresh one.
+func SimulateSpec(s cellstore.Spec) (smtsim.Result, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return smtsim.Result{}, err
+	}
+	return smtsim.Run(cfg)
 }
 
 // runCells executes the cells concurrently and returns results in cell
-// order. The Progress callback is serialized (callers pass closures that
-// write to shared state) and skipped for failed cells, whose results are
-// not meaningful.
+// order, delegating to Options.Runner when one is installed. The
+// Progress callback is serialized (callers pass closures that write to
+// shared state) and skipped for failed cells, whose results are not
+// meaningful.
 func runCells(cells []cell, o Options) ([]smtsim.Result, error) {
+	specs := make([]cellstore.Spec, len(cells))
+	for i := range cells {
+		specs[i] = cells[i].spec(o)
+	}
+	if o.Runner != nil {
+		results, err := o.Runner(specs)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: remote runner: %w", err)
+		}
+		if len(results) != len(cells) {
+			return nil, fmt.Errorf("sweep: remote runner returned %d results for %d cells", len(results), len(cells))
+		}
+		return results, nil
+	}
 	results := make([]smtsim.Result, len(cells))
 	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
@@ -96,15 +153,7 @@ func runCells(cells []cell, o Options) ([]smtsim.Result, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			c := cells[i]
-			res, err := smtsim.Run(smtsim.Config{
-				Benchmarks:         c.mix.Benchmarks,
-				IQSize:             c.iq,
-				Scheduler:          c.sched,
-				FetchGate:          c.gate,
-				MaxInstructions:    o.budget(),
-				WarmupInstructions: o.warmup(),
-				Seed:               o.Seed + 1,
-			})
+			res, err := SimulateSpec(specs[i])
 			results[i], errs[i] = res, err
 			if o.Progress != nil && err == nil {
 				progressMu.Lock()
@@ -120,6 +169,29 @@ func runCells(cells []cell, o Options) ([]smtsim.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// Table1Specs enumerates the content-addressed cells of the paper's
+// headline sweep — the Figures 3/5/7 grid: every scheduler × IQ size ×
+// mix at thread counts 2, 3, and 4 — in deterministic order. The hash
+// golden test pins these cells' keys; the sweep service's end-to-end
+// test replays them twice to prove a warm rerun simulates nothing.
+func Table1Specs(o Options) ([]cellstore.Spec, error) {
+	var specs []cellstore.Spec
+	for _, threads := range []int{2, 3, 4} {
+		mixes, err := workload.MixesFor(threads)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range smtsim.Schedulers {
+			for _, q := range o.iqSizes() {
+				for _, m := range mixes {
+					specs = append(specs, cell{mix: m, sched: s, iq: q}.spec(o))
+				}
+			}
+		}
+	}
+	return specs, nil
 }
 
 // Table is a labeled 2-D result grid.

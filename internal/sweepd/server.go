@@ -1,0 +1,566 @@
+// Package sweepd is the sweep service: an HTTP front end over the
+// content-addressed cell store (internal/cellstore) with a work queue
+// of simulator workers behind it. Repeated figure and report requests
+// are cache hits; only novel cells simulate, exactly once each, no
+// matter how many clients ask for them concurrently (singleflight) or
+// how many worker processes share the store (leases with expiry, so a
+// killed worker's cells are re-claimed).
+//
+// API:
+//
+//	POST /v1/sweep              submit a cell set, returns a sweep id
+//	GET  /v1/sweeps/{id}        sweep status + results so far
+//	GET  /v1/sweeps/{id}/stream NDJSON: one line per cell as it lands
+//	GET  /v1/cells/{hash}       one cell's cached result
+//	GET  /v1/stats              hit/miss/inflight/simulation counters
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"smtsim"
+	"smtsim/internal/cellstore"
+	"smtsim/internal/sweep"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the shared cell store (required).
+	Store *cellstore.Store
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// LeaseTTL is how long a worker's claim on a cell lasts before
+	// other workers may steal it. It must comfortably exceed one cell's
+	// simulation time; a stolen-but-alive cell is only wasted work, not
+	// wrong results (puts are idempotent). 0 = 1 minute.
+	LeaseTTL time.Duration
+	// Owner identifies this process in lease files. "" derives one from
+	// the pid.
+	Owner string
+	// PollInterval is the wait between checks while another process
+	// holds a cell's lease. 0 = 50ms.
+	PollInterval time.Duration
+	// Simulate runs one cell. nil = sweep.SimulateSpec (the in-process
+	// simulator). Tests inject counting or blocking hooks here.
+	Simulate func(cellstore.Spec) (smtsim.Result, error)
+	// Logf, when non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return time.Minute
+}
+
+func (c Config) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// outcome is one finished cell: a result or an error string.
+type outcome struct {
+	Result smtsim.Result
+	Err    string
+}
+
+// flight is the singleflight entry for one cell hash that is queued or
+// simulating. All sweeps that want the cell attach waiters; the first
+// submission enqueues it.
+type flight struct {
+	spec    cellstore.Spec
+	waiters []waiter
+	done    bool
+	out     outcome
+}
+
+type waiter struct {
+	run *sweepRun
+	idx int
+}
+
+// sweepRun tracks one submitted cell set.
+type sweepRun struct {
+	id     string
+	hashes []string
+	specs  []cellstore.Spec
+
+	mu        sync.Mutex
+	outcomes  []*outcome // index-aligned, nil until the cell lands
+	landed    []int      // indices in completion order (the stream order)
+	remaining int
+}
+
+// complete records one cell's outcome; idx may land only once.
+func (r *sweepRun) complete(idx int, out outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.outcomes[idx] != nil {
+		return
+	}
+	o := out
+	r.outcomes[idx] = &o
+	r.landed = append(r.landed, idx)
+	r.remaining--
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	// CacheHits counts submitted cells answered straight from the
+	// store; Misses counts cells that had to be queued.
+	CacheHits int64 `json:"cache_hits"`
+	Misses    int64 `json:"misses"`
+	// Simulations counts cells this process actually simulated — the
+	// end-to-end proof that a warm rerun is free is this staying flat.
+	Simulations int64 `json:"simulations"`
+	// Dedupped counts submitted cells that attached to an already
+	// queued or in-flight identical cell (singleflight).
+	Dedupped int64 `json:"dedupped"`
+	// Inflight is the number of cells simulating right now; QueueDepth
+	// is the number waiting for a worker.
+	Inflight   int64 `json:"inflight"`
+	QueueDepth int64 `json:"queue_depth"`
+	// Sweeps counts POST /v1/sweep submissions.
+	Sweeps int64 `json:"sweeps"`
+	// Store mirrors the cell store's own counters (torn tails recovered,
+	// leases stolen from dead workers, raw get/put traffic).
+	Store cellstore.Stats `json:"store"`
+}
+
+// Server is the sweep service. Create with New, serve via Handler,
+// stop with Shutdown (which checkpoints the queue so a restart resumes
+// where it left off).
+type Server struct {
+	cfg   Config
+	store *cellstore.Store
+	mux   *http.ServeMux
+
+	mu        sync.Mutex
+	queue     []string // FIFO of cell hashes awaiting a worker
+	flights   map[string]*flight
+	sweeps    map[string]*sweepRun
+	nextSweep int
+	stats     Stats
+
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Server, restores any queue checkpoint a previous
+// process left in the store directory, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("sweepd: Config.Store is required")
+	}
+	if cfg.Owner == "" {
+		cfg.Owner = fmt.Sprintf("sweepd-%d", os.Getpid())
+	}
+	if cfg.Simulate == nil {
+		cfg.Simulate = sweep.SimulateSpec
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		mux:     http.NewServeMux(),
+		flights: make(map[string]*flight),
+		sweeps:  make(map[string]*sweepRun),
+		wake:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/cells/{hash}", s.handleCell)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if err := s.restoreCheckpoint(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops the worker pool at the next cell boundary and
+// checkpoints still-pending cells to the store directory, so the next
+// New over the same store re-enqueues them. The HTTP handler keeps
+// answering reads; pending sweeps simply stop progressing.
+func (s *Server) Shutdown() error {
+	close(s.quit)
+	s.wg.Wait()
+	return s.checkpoint()
+}
+
+func (s *Server) checkpointPath() string {
+	return filepath.Join(s.store.Dir(), "queue.json")
+}
+
+// checkpoint persists every queued-or-unfinished cell spec.
+func (s *Server) checkpoint() error {
+	s.mu.Lock()
+	var pending []cellstore.Spec
+	for _, f := range s.flights {
+		if !f.done {
+			pending = append(pending, f.spec)
+		}
+	}
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		err := os.Remove(s.checkpointPath())
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("sweepd: %w", err)
+		}
+		return nil
+	}
+	b, err := json.Marshal(struct {
+		Pending []cellstore.Spec `json:"pending"`
+	}{pending})
+	if err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	tmp := s.checkpointPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	s.cfg.Logf("sweepd: checkpointed %d pending cells", len(pending))
+	return nil
+}
+
+// restoreCheckpoint re-enqueues cells a previous process shut down
+// with. Cells that landed in the store since (another worker finished
+// them) resolve instantly through the normal worker path.
+func (s *Server) restoreCheckpoint() error {
+	b, err := os.ReadFile(s.checkpointPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	var doc struct {
+		Pending []cellstore.Spec `json:"pending"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("sweepd: corrupt queue checkpoint %s: %w", s.checkpointPath(), err)
+	}
+	for _, spec := range doc.Pending {
+		if spec.Validate() != nil {
+			continue
+		}
+		s.enqueue(spec, nil)
+	}
+	if err := os.Remove(s.checkpointPath()); err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	s.cfg.Logf("sweepd: restored %d checkpointed cells", len(doc.Pending))
+	return nil
+}
+
+// enqueue registers a cell for simulation, deduplicating against
+// queued and in-flight identical cells, and attaches w (if non-nil) to
+// its completion. Returns the cell's hash.
+func (s *Server) enqueue(spec cellstore.Spec, w *waiter) string {
+	hash := spec.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flights[hash]
+	if !ok {
+		f = &flight{spec: spec}
+		s.flights[hash] = f
+		s.queue = append(s.queue, hash)
+		s.stats.QueueDepth++
+	} else if !f.done {
+		s.stats.Dedupped++
+	}
+	if w != nil {
+		if f.done {
+			w.run.complete(w.idx, f.out)
+		} else {
+			f.waiters = append(f.waiters, *w)
+		}
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return hash
+}
+
+// finish marks a flight done and fans its outcome out to every waiter.
+// A successful flight entry stays (done) so late duplicate submissions
+// resolve without touching the store; memory is bounded by unique
+// cells. A failed flight is deleted so a future submission retries
+// instead of replaying a possibly transient error forever.
+func (s *Server) finish(hash string, out outcome) {
+	s.mu.Lock()
+	f := s.flights[hash]
+	if f == nil || f.done {
+		s.mu.Unlock()
+		return
+	}
+	f.done = true
+	f.out = out
+	waiters := f.waiters
+	f.waiters = nil
+	if out.Err != "" {
+		delete(s.flights, hash)
+	}
+	s.mu.Unlock()
+	for _, w := range waiters {
+		w.run.complete(w.idx, out)
+	}
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+type submitRequest struct {
+	Cells []cellstore.Spec `json:"cells"`
+}
+
+type submitResponse struct {
+	ID     string   `json:"id"`
+	Total  int      `json:"total"`
+	Cached int      `json:"cached"`
+	Hashes []string `json:"hashes"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		httpError(w, http.StatusBadRequest, "empty cell set")
+		return
+	}
+	for i := range req.Cells {
+		req.Cells[i] = req.Cells[i].Canonical()
+		if err := req.Cells[i].Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+	}
+
+	run := &sweepRun{
+		specs:    req.Cells,
+		hashes:   make([]string, len(req.Cells)),
+		outcomes: make([]*outcome, len(req.Cells)),
+	}
+	run.remaining = len(req.Cells)
+
+	s.mu.Lock()
+	s.nextSweep++
+	run.id = fmt.Sprintf("s%d", s.nextSweep)
+	s.sweeps[run.id] = run
+	s.stats.Sweeps++
+	s.mu.Unlock()
+
+	cached := 0
+	for i, spec := range req.Cells {
+		hash := spec.Key()
+		run.hashes[i] = hash
+		if res, ok, err := s.store.Get(hash); err == nil && ok {
+			run.complete(i, outcome{Result: res})
+			cached++
+			s.mu.Lock()
+			s.stats.CacheHits++
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		s.enqueue(spec, &waiter{run: run, idx: i})
+	}
+	s.cfg.Logf("sweepd: sweep %s: %d cells, %d cached", run.id, len(req.Cells), cached)
+	writeJSON(w, http.StatusOK, submitResponse{
+		ID: run.id, Total: len(req.Cells), Cached: cached, Hashes: run.hashes,
+	})
+}
+
+// cellLine is one streamed or collected cell outcome.
+type cellLine struct {
+	Index  int            `json:"index"`
+	Hash   string         `json:"hash"`
+	Result *smtsim.Result `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+func lineFor(idx int, hash string, o *outcome) cellLine {
+	l := cellLine{Index: idx, Hash: hash}
+	if o.Err != "" {
+		l.Error = o.Err
+	} else {
+		res := o.Result
+		l.Result = &res
+	}
+	return l
+}
+
+type sweepStatus struct {
+	ID       string     `json:"id"`
+	Total    int        `json:"total"`
+	Done     int        `json:"done"`
+	Complete bool       `json:"complete"`
+	Cells    []cellLine `json:"cells"`
+}
+
+func (s *Server) lookupSweep(id string) *sweepRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	run := s.lookupSweep(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	run.mu.Lock()
+	st := sweepStatus{
+		ID:       run.id,
+		Total:    len(run.hashes),
+		Done:     len(run.landed),
+		Complete: run.remaining == 0,
+	}
+	for i, o := range run.outcomes {
+		if o != nil {
+			st.Cells = append(st.Cells, lineFor(i, run.hashes[i], o))
+		}
+	}
+	run.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream writes NDJSON: one line per cell in completion order as
+// cells land, then a terminal {"done":true} line. Partial aggregation
+// is the point — a figure renderer can draw cells as they arrive.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run := s.lookupSweep(r.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		run.mu.Lock()
+		newly := run.landed[sent:]
+		lines := make([]cellLine, len(newly))
+		for i, idx := range newly {
+			lines[i] = lineFor(idx, run.hashes[idx], run.outcomes[idx])
+		}
+		complete := run.remaining == 0
+		run.mu.Unlock()
+		sent += len(lines)
+		for _, l := range lines {
+			if err := enc.Encode(l); err != nil {
+				return
+			}
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if complete && sent == len(run.hashes) {
+			enc.Encode(struct {
+				Done  bool `json:"done"`
+				Total int  `json:"total"`
+			}{true, len(run.hashes)})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	res, ok, err := s.store.Get(hash)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if ok {
+		writeJSON(w, http.StatusOK, cellLine{Hash: hash, Result: &res})
+		return
+	}
+	s.mu.Lock()
+	f, inflight := s.flights[hash]
+	pending := inflight && !f.done
+	s.mu.Unlock()
+	if pending {
+		writeJSON(w, http.StatusAccepted, map[string]string{"hash": hash, "status": "inflight"})
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown cell %s", hash)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// StatsSnapshot returns the live counters (also the /v1/stats payload).
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.Store = s.store.StatsSnapshot()
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -29,7 +29,7 @@ if [[ "${SKIP_LINT:-0}" != 1 ]]; then
     fi
 fi
 
-RAW="$(go test -run xxx -bench 'Table1Machine|IQ' -benchmem -count "$COUNT" ./... 2>&1 | grep -E '^(Benchmark|ok|PASS|goos|goarch|pkg|cpu)' || true)"
+RAW="$(go test -run xxx -bench 'Table1Machine|IQ|SweepStore' -benchmem -count "$COUNT" ./... 2>&1 | grep -E '^(Benchmark|ok|PASS|goos|goarch|pkg|cpu)' || true)"
 
 # Assemble a small JSON document: context + raw benchmark lines.
 RAW="$RAW" OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
@@ -38,7 +38,7 @@ import json, os, subprocess, sys
 raw = os.environ["RAW"].rstrip("\n")
 go_version = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
 doc = {
-    "benchmarks": "Table1Machine|IQ",
+    "benchmarks": "Table1Machine|IQ|SweepStore",
     "count": int(os.environ["COUNT"]),
     "go": go_version,
     # Seed-commit polling implementation, measured on the same machine
