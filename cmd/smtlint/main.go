@@ -1,10 +1,11 @@
 // Command smtlint runs the repository's static-analysis suite (detlint,
-// allocfree, statescope, cyclepure, idsafe, memocoherent — see
-// internal/analysis and DESIGN.md §7/§9) over Go packages.
+// allocfree, statescope, cyclepure, idsafe, memocoherent, guardedby,
+// golife, atomicfs — see internal/analysis and DESIGN.md §7/§9/§11)
+// over Go packages.
 //
 // Two modes:
 //
-//	smtlint [-json] ./...               # standalone, over package patterns
+//	smtlint [-json] [-only a,b] ./...   # standalone, over package patterns
 //	go vet -vettool=$(pwd)/bin/smtlint ./...   # as a go vet tool
 //
 // The vettool mode speaks the go command's unitchecker protocol: go vet
@@ -58,8 +59,9 @@ func main() {
 func standalone(args []string) {
 	fs := flag.NewFlagSet("smtlint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as NDJSON on stdout instead of text on stderr")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run (standalone mode only; vettool mode always runs the whole suite)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: smtlint [-json] [packages]\n   or: go vet -vettool=/path/to/smtlint [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: smtlint [-json] [-only analyzer,...] [packages]\n   or: go vet -vettool=/path/to/smtlint [packages]\n")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -81,6 +83,13 @@ func standalone(args []string) {
 	// list order (dependencies first), so facts a package exports are in
 	// the store before any dependent is analyzed.
 	sess := smtlint.NewSession()
+	if *only != "" {
+		suite, err := smtlint.Select(*only)
+		if err != nil {
+			fatalf("smtlint: -only: %v", err)
+		}
+		sess.Analyzers = suite
+	}
 	bad := false
 	for _, pkg := range pkgs {
 		diags, err := sess.Run(pkg)

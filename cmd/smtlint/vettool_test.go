@@ -44,6 +44,8 @@ func TestVettoolProtocol(t *testing.T) {
 		"nondeterministic iteration over map", "[detlint]",
 		"idsafe: u from uop.Bank.Get is used before its GSeq/Squashed token is checked",
 		`guarded by memo "commit-skip-mask"`, "[memocoherent]",
+		"atomicfs: raw os.WriteFile outside the blessed crash-consistency helpers",
+		"golife: go statement with no sync.WaitGroup Add visible before it",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("seeded-violation output missing %q:\n%s", want, out)
@@ -54,6 +56,13 @@ func TestVettoolProtocol(t *testing.T) {
 	// process and decoded by the separate process that analyzed fu.
 	if !strings.Contains(out, "calls fill, which may allocate: calls scratch.Wrap: calls Grow") {
 		t.Errorf("seeded-violation output missing transitive allocfree diagnostic (fact round-trip broken):\n%s", out)
+	}
+	// Same round trip for guardedby: Ledger.Add's //smt:locked
+	// precondition was exported as a LockSummary fact while cellstore
+	// was analyzed and decoded by the separate process that analyzed
+	// sweepd's lock-free call site.
+	if !strings.Contains(out, "guardedby: call to cellstore.Ledger.Add requires smtsim/internal/cellstore.Ledger.Mu held") {
+		t.Errorf("seeded-violation output missing cross-package guardedby diagnostic (fact round-trip broken):\n%s", out)
 	}
 
 	out, err = runIn(fixtureModule, "go", "vet", "-vettool="+bin, "./internal/rob")
@@ -77,6 +86,9 @@ func TestStandaloneMode(t *testing.T) {
 		"calls fill, which may allocate",
 		"[idsafe]",
 		"[memocoherent]",
+		"[guardedby]",
+		"[golife]",
+		"[atomicfs]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("standalone output missing %q:\n%s", want, out)
@@ -122,9 +134,47 @@ func TestJSONMode(t *testing.T) {
 		}
 		byAnalyzer[d.Analyzer]++
 	}
-	for _, a := range []string{"detlint", "allocfree", "idsafe", "memocoherent"} {
+	for _, a := range []string{"detlint", "allocfree", "idsafe", "memocoherent", "guardedby", "golife", "atomicfs"} {
 		if byAnalyzer[a] == 0 {
 			t.Errorf("no JSON diagnostic from %s; got %v\nstderr:\n%s", a, byAnalyzer, stderr.String())
 		}
+	}
+
+	// -only restricts the run to the named analyzers: the seeded golife
+	// and atomicfs violations must surface, everything else must not.
+	cmd = exec.Command(bin, "-json", "-only", "golife,atomicfs", "./...")
+	cmd.Dir = fixtureModule
+	stdout.Reset()
+	stderr.Reset()
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("smtlint -only golife,atomicfs on seeded violation succeeded; want failure\n%s", stdout.String())
+	}
+	onlySeen := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var d diag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("-only stdout line is not a JSON diagnostic: %q: %v", line, err)
+		}
+		if d.Analyzer != "golife" && d.Analyzer != "atomicfs" {
+			t.Errorf("-only golife,atomicfs emitted a %s diagnostic: %+v", d.Analyzer, d)
+		}
+		onlySeen[d.Analyzer]++
+	}
+	for _, a := range []string{"golife", "atomicfs"} {
+		if onlySeen[a] == 0 {
+			t.Errorf("-only run missing %s diagnostics; got %v\nstderr:\n%s", a, onlySeen, stderr.String())
+		}
+	}
+
+	// An unknown analyzer name is a usage error (exit 2), not a lint
+	// failure (exit 1).
+	cmd = exec.Command(bin, "-json", "-only", "nosuch", "./...")
+	cmd.Dir = fixtureModule
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Errorf("smtlint -only nosuch: want exit 2, got %v", err)
 	}
 }

@@ -64,6 +64,7 @@ func main() {
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
+	//smt:fire-and-forget(process-lifetime listener; hs.Shutdown below unblocks it and main exits)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("smtsweepd: serving on %s, store %s (%d cells)", *addr, *storeDir, store.Len())
 

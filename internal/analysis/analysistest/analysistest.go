@@ -52,6 +52,31 @@ func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...strin
 	}
 }
 
+// RunGob is Run with the fact store serialized and deserialized between
+// packages: after each package is analyzed, the store is gob-encoded and
+// a fresh store decoded from the bytes analyzes the next. A fact-driven
+// analyzer that passes RunGob has proven its facts survive the wire
+// format the go vet unitchecker protocol uses — the in-process Set
+// cannot mask a field gob drops.
+func RunGob(t *testing.T, testdata string, a *framework.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	facts.Register(a)
+	store := facts.NewSet()
+	l := newLoader(testdata)
+	for i, path := range pkgPaths {
+		if i > 0 {
+			wire, err := store.Encode()
+			if err != nil {
+				t.Fatalf("encoding fact store before %s: %v", path, err)
+			}
+			store = facts.NewSet()
+			store.Decode(wire)
+		}
+		diags, pkg := run(t, l, store, a, path)
+		check(t, pkg, diags)
+	}
+}
+
 // Diagnostics applies analyzer a to the fixture packages in order
 // (sharing one fact store, as Run does) and returns the diagnostics of
 // the last listed package, ignoring // want comments. Tests use it to

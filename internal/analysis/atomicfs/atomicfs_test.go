@@ -1,0 +1,15 @@
+package atomicfs_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/atomicfs"
+)
+
+func TestAtomicfs(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfs.Analyzer,
+		"smtsim/internal/cellstore",
+		"smtsim/internal/report",
+	)
+}

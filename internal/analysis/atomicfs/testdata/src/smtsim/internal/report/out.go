@@ -1,0 +1,11 @@
+// Package report is outside policy.ServicePackages: atomicfs must stay
+// silent on raw writes here — figure output has no crash-consistency
+// protocol to protect.
+package report
+
+import "os"
+
+// Save writes a figure file directly.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

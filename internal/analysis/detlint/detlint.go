@@ -10,12 +10,15 @@
 // bit-identity, which only holds if nothing on the cycle path consumes
 // an unstable order. detlint stops the whole class before it compiles.
 //
-// The same replay argument forbids concurrency constructs outright: a
-// `go` statement hands cycle-path state to the runtime scheduler,
-// `select` resolves ready cases by a runtime coin flip, and ranging
-// over a channel observes whatever order senders won the race in. The
-// simulator is single-goroutine by design (DESIGN.md §2); there is no
-// escape hatch for these.
+// The same replay argument forbids concurrency constructs outright on
+// the cycle path: a `go` statement hands cycle-path state to the
+// runtime scheduler, `select` resolves ready cases by a runtime coin
+// flip, and ranging over a channel observes whatever order senders won
+// the race in. The simulator is single-goroutine by design (DESIGN.md
+// §2); there is no escape hatch for these. Concurrency is permitted —
+// and separately verified — in the service layer: guardedby checks the
+// lock discipline, golife the goroutine and channel lifecycles, and
+// atomicfs the crash-consistency of on-disk writes (DESIGN.md §11).
 //
 // Escape hatch: //smt:allow-map-range on the offending line (or the
 // line above) for iterations that are provably order-independent, e.g.

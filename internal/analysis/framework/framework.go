@@ -9,14 +9,20 @@
 // language: magic comments of the form
 //
 //	//smt:NAME args — free-form reason
+//	//smt:NAME(args) — free-form reason
 //
 // Function-level directives (//smt:hotpath, //smt:coldpath, //smt:stage,
-// //smt:trusted-id) appear in a function's doc comment and change how
-// analyzers treat the whole function. Line-level directives
-// (//smt:allow-alloc, //smt:allow-map-range, //smt:trusted-id) are
-// escape hatches: placed on the offending line (trailing comment) or on
-// the line directly above it, they suppress one analyzer's diagnostics
-// for that line and should carry a reason after an em/en dash or "—".
+// //smt:trusted-id, //smt:locked(mu), //smt:nolock-audited) appear in a
+// function's doc comment and change how analyzers treat the whole
+// function. Declaration-level directives annotate one struct field or
+// package variable on its own line (//smt:guarded-by(mu),
+// //smt:close-owner(Recv.Method)). Line-level directives
+// (//smt:allow-alloc, //smt:allow-map-range, //smt:trusted-id,
+// //smt:nolock-audited, //smt:fire-and-forget(reason)) are escape
+// hatches: placed on the offending line (trailing comment) or on the
+// line directly above it, they suppress one analyzer's diagnostics for
+// that line and should carry a reason — in the parenthesized argument
+// or after an em/en dash.
 package framework
 
 import (
@@ -120,12 +126,26 @@ func NormalizePkgPath(path string) string {
 const directivePrefix = "//smt:"
 
 // parseDirective splits one comment into a directive name and its
-// arguments, or reports ok=false for ordinary comments.
+// arguments, or reports ok=false for ordinary comments. Both argument
+// grammars are accepted: space-separated (//smt:stage pkgs — reason)
+// and parenthesized (//smt:guarded-by(mu) — reason); in the paren form
+// anything after the closing paren is free-form commentary.
 func parseDirective(text string) (name, args string, ok bool) {
 	if !strings.HasPrefix(text, directivePrefix) {
 		return "", "", false
 	}
 	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " ("); i >= 0 && rest[i] == '(' {
+		name = rest[:i]
+		args = rest[i+1:]
+		if j := strings.IndexByte(args, ')'); j >= 0 {
+			args = args[:j]
+		}
+		if name == "" {
+			return "", "", false
+		}
+		return name, strings.TrimSpace(args), true
+	}
 	name, args, _ = strings.Cut(rest, " ")
 	if name == "" {
 		return "", "", false
@@ -177,14 +197,28 @@ func FileDirectives(fset *token.FileSet, f *ast.File) LineDirectives {
 // either as a trailing comment on that line or as a comment on the line
 // directly above.
 func (d LineDirectives) Allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	_, ok := d.Args(fset, pos, name)
+	return ok
+}
+
+// Args returns the arguments of the name directive covering the line
+// holding pos (trailing on that line, or on the line directly above),
+// and whether one exists. This is how declaration-level directives —
+// //smt:guarded-by(mu) on a struct field, //smt:close-owner(F) on a
+// channel declaration — are looked up from the declaration's position.
+func (d LineDirectives) Args(fset *token.FileSet, pos token.Pos, name string) (string, bool) {
 	byLine := d[name]
 	if byLine == nil {
-		return false
+		return "", false
 	}
 	line := fset.Position(pos).Line
-	_, same := byLine[line]
-	_, above := byLine[line-1]
-	return same || above
+	if a, ok := byLine[line]; ok {
+		return a, true
+	}
+	if a, ok := byLine[line-1]; ok {
+		return a, true
+	}
+	return "", false
 }
 
 // Deref removes all pointer indirections from t.

@@ -1,0 +1,308 @@
+// Package golife implements the goroutine- and channel-lifecycle
+// analyzer for the service layer (policy.ServicePackages). The cycle
+// path forbids goroutines outright (detlint); the sweep service spawns
+// them deliberately, so golife verifies that none of them leaks:
+//
+//   - Every `go` statement must be tied to a lifecycle: a
+//     (*sync.WaitGroup).Add call textually before the spawn in the same
+//     function body, with the spawned function — when its body is
+//     visible — deferring a matching (*sync.WaitGroup).Done. A spawn
+//     that is genuinely unowned carries
+//     //smt:fire-and-forget(reason) on the `go` line (or the line
+//     above); an empty reason is itself a diagnostic, because the
+//     reason is the audit trail.
+//
+//   - close(ch) on a channel-typed struct field or package variable is
+//     allowed only from the function named in the channel's
+//     //smt:close-owner(Recv.Method) annotation (comma-separated list
+//     for multiple owners). Closing an unannotated shared channel, or
+//     closing from a non-owner, is a diagnostic — double-close panics
+//     come from exactly this ambiguity. Channels held in locals never
+//     escape the function, so they are exempt.
+//
+// The checks are syntactic and intra-procedural by design: a WaitGroup
+// visible at the spawn site is the repository's lifecycle idiom
+// (DESIGN.md §10), and an analyzer that demanded whole-program escape
+// analysis to bless it would reject the idiom it exists to enforce.
+package golife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smtsim/internal/analysis/framework"
+	"smtsim/internal/analysis/policy"
+)
+
+// Analyzer is the golife instance.
+var Analyzer = &framework.Analyzer{
+	Name: "golife",
+	Doc:  "require every go statement in service packages to be WaitGroup-tracked or annotated //smt:fire-and-forget(reason), and every shared channel close to come from its //smt:close-owner",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !policy.IsServicePackage(framework.NormalizePkgPath(pass.Pkg.Path())) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		dirs := framework.FileDirectives(pass.Fset, file)
+		owners := collectCloseOwners(pass, file, dirs)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, dirs, owners)
+		}
+	}
+	return nil
+}
+
+// collectCloseOwners resolves //smt:close-owner annotations on
+// channel-typed struct fields and package variables in one file,
+// reporting malformed ones.
+func collectCloseOwners(pass *framework.Pass, file *ast.File, dirs framework.LineDirectives) map[*types.Var][]string {
+	owners := map[*types.Var][]string{}
+	if dirs["close-owner"] == nil {
+		return owners
+	}
+	record := func(name *ast.Ident, pos token.Pos) {
+		arg, ok := dirs.Args(pass.Fset, pos, "close-owner")
+		if !ok {
+			return
+		}
+		v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+			pass.Reportf(pos, "golife: //smt:close-owner on %s, which is not a channel", name.Name)
+			return
+		}
+		list := splitList(arg)
+		if len(list) == 0 {
+			pass.Reportf(pos, "golife: //smt:close-owner on %s names no owner", name.Name)
+			return
+		}
+		owners[v] = list
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				for _, name := range field.Names {
+					record(name, field.Pos())
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				record(name, n.Pos())
+			}
+		}
+		return true
+	})
+	return owners
+}
+
+// checkFunc walks one function body checking go statements and closes.
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, dirs framework.LineDirectives, owners map[*types.Var][]string) {
+	key := funcKey(fn)
+	// addBefore records, per statement position, whether a wg.Add call
+	// appears earlier in the same body — position order is statement
+	// order within one file.
+	var addPositions []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupMethod(pass.TypesInfo, call, "Add") {
+			addPositions = append(addPositions, call.Pos())
+		}
+		return true
+	})
+	hasAddBefore := func(pos token.Pos) bool {
+		for _, p := range addPositions {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkGo(pass, n, dirs, hasAddBefore)
+		case *ast.CallExpr:
+			checkClose(pass, n, owners, key)
+		}
+		return true
+	})
+}
+
+// checkGo enforces the lifecycle rule for one go statement.
+func checkGo(pass *framework.Pass, g *ast.GoStmt, dirs framework.LineDirectives, hasAddBefore func(token.Pos) bool) {
+	if reason, ok := dirs.Args(pass.Fset, g.Pos(), "fire-and-forget"); ok {
+		if reason == "" {
+			pass.Reportf(g.Pos(), "golife: //smt:fire-and-forget needs a reason — the annotation is the audit trail for the leaked goroutine")
+		}
+		return
+	}
+	if !hasAddBefore(g.Pos()) {
+		pass.Reportf(g.Pos(), "golife: go statement with no sync.WaitGroup Add visible before it in this function: track the goroutine, or annotate //smt:fire-and-forget(reason)")
+		return
+	}
+	// The spawn is Add-tracked; when the spawned body is visible, it
+	// must hand the count back with a deferred Done.
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := framework.CalleeFunc(pass.TypesInfo, g.Call); fn != nil {
+			if decl := localFuncDecl(pass, fn); decl != nil {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		return // foreign or dynamic callee: trusted given the Add
+	}
+	if !hasDeferredDone(pass.TypesInfo, body) {
+		pass.Reportf(g.Pos(), "golife: WaitGroup-tracked goroutine whose body never defers Done: the Add is never returned and Wait hangs")
+	}
+}
+
+// checkClose enforces close-ownership for one call expression.
+func checkClose(pass *framework.Pass, call *ast.CallExpr, owners map[*types.Var][]string, enclosing string) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	v := sharedChanVar(pass.TypesInfo, call.Args[0])
+	if v == nil {
+		return // local channel: cannot be closed by anyone else
+	}
+	list, annotated := owners[v]
+	if !annotated {
+		pass.Reportf(call.Pos(), "golife: close of shared channel %s with no //smt:close-owner annotation: declare the single owner on the channel's declaration", v.Name())
+		return
+	}
+	for _, owner := range list {
+		if owner == enclosing {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "golife: close of %s from %s, but its //smt:close-owner is %s", v.Name(), enclosing, joinList(list))
+}
+
+// sharedChanVar resolves expr to the struct field or package-level
+// variable it names, or nil for locals and unrecognized shapes.
+func sharedChanVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		s, ok := info.Selections[e]
+		if ok && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+		// Qualified package-level var (pkg.Ch).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// isWaitGroupMethod reports whether call is (*sync.WaitGroup).name.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := framework.NamedOf(recv.Type())
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// hasDeferredDone reports whether body (or a FuncLit it defers) defers
+// a (*sync.WaitGroup).Done call.
+func hasDeferredDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if isWaitGroupMethod(info, d.Call, "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// localFuncDecl finds fn's declaration in the package under analysis.
+func localFuncDecl(pass *framework.Pass, fn *types.Func) *ast.FuncDecl {
+	if fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// funcKey renders a FuncDecl as "Name" or "Recv.Name" — the grammar
+// //smt:close-owner arguments use.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+func splitList(arg string) []string {
+	var out []string
+	for _, s := range strings.Split(arg, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func joinList(list []string) string {
+	return strings.Join(list, ",")
+}

@@ -1,0 +1,15 @@
+package golife_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/golife"
+)
+
+func TestGolife(t *testing.T) {
+	analysistest.Run(t, "testdata", golife.Analyzer,
+		"smtsim/internal/sweepd",
+		"smtsim/internal/report",
+	)
+}

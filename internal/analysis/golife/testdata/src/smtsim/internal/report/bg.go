@@ -1,0 +1,12 @@
+// Package report is outside policy.ServicePackages: golife must stay
+// silent here even on an untracked spawn and an unannotated close.
+package report
+
+var events = make(chan int)
+
+// Background leaks freely — not a service package.
+func Background() {
+	go func() {
+		close(events)
+	}()
+}

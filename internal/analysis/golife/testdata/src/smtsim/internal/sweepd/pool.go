@@ -1,0 +1,95 @@
+// Package sweepd is a miniature stand-in exercising golife: WaitGroup
+// tracking of go statements, fire-and-forget audits, and channel close
+// ownership. Its import path is on policy.ServicePackages, so the
+// analyzer is live here.
+package sweepd
+
+import "sync"
+
+// Pool owns a worker fleet and its channels.
+type Pool struct {
+	wg sync.WaitGroup
+	//smt:close-owner(Pool.Stop)
+	quit chan struct{}
+	//smt:close-owner(Pool.Stop, Pool.Abort)
+	out chan int
+}
+
+// Start spawns tracked workers.
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	<-p.quit
+}
+
+// StartUntracked leaks a goroutine.
+func (p *Pool) StartUntracked() {
+	go p.worker() // want `golife: go statement with no sync\.WaitGroup Add visible before it`
+}
+
+// StartLit tracks an inline literal correctly.
+func (p *Pool) StartLit() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		<-p.quit
+	}()
+}
+
+// StartLitNoDone takes the Add but never gives it back.
+func (p *Pool) StartLitNoDone() {
+	p.wg.Add(1)
+	go func() { // want `golife: WaitGroup-tracked goroutine whose body never defers Done`
+		<-p.quit
+	}()
+}
+
+// Fire is an audited leak.
+func (p *Pool) Fire() {
+	//smt:fire-and-forget(metrics flusher; exits with the process)
+	go p.worker()
+}
+
+// FireNoReason forgets the audit trail.
+func (p *Pool) FireNoReason() {
+	//smt:fire-and-forget
+	go p.worker() // want `golife: //smt:fire-and-forget needs a reason`
+}
+
+// Stop is the declared owner of both channels.
+func (p *Pool) Stop() {
+	close(p.quit)
+	close(p.out)
+}
+
+// Abort co-owns out.
+func (p *Pool) Abort() {
+	close(p.out)
+}
+
+// Leak closes a channel it does not own.
+func (p *Pool) Leak() {
+	close(p.quit) // want `golife: close of quit from Pool\.Leak, but its //smt:close-owner is Pool\.Stop`
+}
+
+// Feed has an unannotated shared channel.
+type Feed struct {
+	ch chan int
+}
+
+// Close closes without a declared owner.
+func (f *Feed) Close() {
+	close(f.ch) // want `golife: close of shared channel ch with no //smt:close-owner annotation`
+}
+
+// LocalClose closes a channel that never escapes: exempt.
+func LocalClose() {
+	ch := make(chan int)
+	close(ch)
+}

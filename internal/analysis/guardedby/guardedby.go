@@ -1,0 +1,864 @@
+// Package guardedby implements the lock-discipline analyzer for the
+// service layer. The cycle path forbids concurrency outright (detlint);
+// the sweep service is concurrent by design, so its discipline is
+// declared and verified instead: a struct field annotated
+//
+//	queue []string //smt:guarded-by(mu)
+//
+// may only be read or written while the named mutex is statically held.
+// The annotation argument names a sibling field of the same struct, a
+// Type.Field pair in the same package, or a package-level mutex
+// variable; the mutex must be a sync.Mutex or sync.RWMutex.
+//
+// The check is an intra-procedural lock-set dataflow over the same
+// AST+types layer the other analyzers use — a CFG-lite, not a full
+// flow graph. Statements are walked in order; mu.Lock()/mu.RLock() add
+// the lock to the set, mu.Unlock()/mu.RUnlock() remove it, and
+// `defer mu.Unlock()` pins it held to the end of the function. Branches
+// fork the set and merge by intersection, with early-terminating arms
+// (return, panic, break/continue) excluded from the merge — so the
+// idiomatic `if hit { mu.Unlock(); return }` early-exit is tracked
+// precisely. Loops are analyzed with their entry set (first-iteration
+// semantics); a body that releases a lock mid-loop and re-touches
+// guarded state on the next iteration is beyond the lite dataflow —
+// `make race` remains the runtime authority. Function literals run on
+// their own goroutine or at an unknown time, so their bodies are
+// analyzed with an empty lock set. The lock set is keyed by
+// (package, type, field), not by instance: two distinct values of one
+// type share a key, which is unsound in principle and fine for a lint
+// over single-instance service state.
+//
+// The analyzer is interprocedural through two summaries per function,
+// exported as gob facts (LockSummary) so cross-package callers are
+// checked transitively under go vet's .vetx protocol:
+//
+//   - Requires: declared with //smt:locked(mu) in the doc comment — the
+//     precondition that the caller already holds mu. The annotated
+//     function is analyzed with the lock pre-held; every call site,
+//     local or cross-package, is rejected unless the lock is in its set.
+//   - Acquires: computed — the locks a function takes itself, directly
+//     or through any statically resolvable callee (fixpoint over the
+//     local call graph, imported facts standing in for foreign
+//     callees). Calling a function that acquires a lock the caller
+//     already holds is reported as a potential self-deadlock.
+//
+// Escape hatch: //smt:nolock-audited on the offending line (or the line
+// above), or in a function's doc comment to waive the whole body, with
+// a reason — e.g. initialization of a value not yet published to any
+// other goroutine.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"smtsim/internal/analysis/framework"
+)
+
+// Analyzer is the guardedby instance.
+var Analyzer = &framework.Analyzer{
+	Name:      "guardedby",
+	Doc:       "require //smt:guarded-by(mu) fields to be accessed only under their mutex, with //smt:locked preconditions and acquires-summaries crossing packages as facts",
+	Run:       run,
+	FactTypes: []framework.Fact{(*LockSummary)(nil)},
+}
+
+// LockSummary is the per-function fact: the locks a caller must hold
+// (from //smt:locked) and the locks the function takes itself,
+// transitively. Lock names are "pkg/path.Type.Field" (or
+// "pkg/path.var" for package-level mutexes).
+type LockSummary struct {
+	Requires []string
+	Acquires []string
+}
+
+// AFact marks LockSummary as a framework fact.
+func (*LockSummary) AFact() {}
+
+// holdMode distinguishes read (RLock) from write (Lock) holds.
+type holdMode uint8
+
+const (
+	holdRead  holdMode = 1
+	holdWrite holdMode = 2
+)
+
+// lockset maps lock keys to how they are held at one program point.
+type lockset map[string]holdMode
+
+func (ls lockset) clone() lockset {
+	c := make(lockset, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect narrows ls to the locks also held (at the weaker mode) in
+// other — the branch-merge operation.
+func (ls lockset) intersect(other lockset) lockset {
+	out := lockset{}
+	for k, v := range ls {
+		if o, ok := other[k]; ok {
+			if o < v {
+				v = o
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// guardInfo is one annotated field: the lock that guards it.
+type guardInfo struct {
+	lock string // lock key
+}
+
+// pkgState is the per-package analysis state.
+type pkgState struct {
+	pass    *framework.Pass
+	path    string
+	guarded map[*types.Var]guardInfo // annotated fields declared here
+	sums    map[*types.Func]*fnSummary
+	order   []*types.Func
+}
+
+// fnSummary accumulates one function's verdicts.
+type fnSummary struct {
+	fn       *ast.FuncDecl
+	requires []string
+	acquires map[string]bool
+	// calls records every statically resolved call with the lock set
+	// held at the site, judged after the acquires fixpoint.
+	calls []callSite
+}
+
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+	held   lockset
+}
+
+func run(pass *framework.Pass) error {
+	st := &pkgState{
+		pass:    pass,
+		path:    framework.NormalizePkgPath(pass.Pkg.Path()),
+		guarded: map[*types.Var]guardInfo{},
+		sums:    map[*types.Func]*fnSummary{},
+	}
+
+	// Phase 1: collect //smt:guarded-by field annotations (and validate
+	// that the named mutex resolves).
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		st.collectGuards(file)
+	}
+
+	// Phase 2: walk every function with the lock-set dataflow,
+	// reporting unguarded accesses and summarizing locks.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		dirs := framework.FileDirectives(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			st.checkFunc(fn, obj, dirs)
+		}
+	}
+
+	// Phase 3: propagate Acquires over the local call graph to a
+	// fixpoint (imported facts stand in for foreign callees).
+	st.propagateAcquires()
+
+	// Phase 4: judge recorded call sites against the settled summaries,
+	// and export facts for this package's functions.
+	st.judgeCalls()
+	st.exportFacts()
+	return nil
+}
+
+// --- annotation collection --------------------------------------------
+
+// collectGuards finds //smt:guarded-by(lock) annotations on struct
+// fields and resolves each to a lock key.
+func (st *pkgState) collectGuards(file *ast.File) {
+	dirs := framework.FileDirectives(st.pass.Fset, file)
+	if dirs["guarded-by"] == nil {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		structType, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range structType.Fields.List {
+			arg, ok := dirs.Args(st.pass.Fset, field.Pos(), "guarded-by")
+			if !ok {
+				continue
+			}
+			lock, err := st.resolveLockArg(arg, ts)
+			if err != "" {
+				st.pass.Reportf(field.Pos(), "guardedby: bad //smt:guarded-by(%s) on %s.%s: %s",
+					arg, ts.Name.Name, fieldNames(field), err)
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := st.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					st.guarded[v] = guardInfo{lock: lock}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func fieldNames(f *ast.Field) string {
+	var names []string
+	for _, n := range f.Names {
+		names = append(names, n.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+// resolveLockArg resolves an annotation argument to a lock key:
+// "mu" (sibling field of the annotated struct), "Type.Field" (struct in
+// the same package), or "muVar" (package-level mutex variable). The
+// empty error string means success.
+func (st *pkgState) resolveLockArg(arg string, within *ast.TypeSpec) (lock, problem string) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return "", "empty lock name"
+	}
+	if typeName, fieldName, ok := strings.Cut(arg, "."); ok {
+		obj := st.pass.Pkg.Scope().Lookup(typeName)
+		tn, isType := obj.(*types.TypeName)
+		if !isType {
+			return "", "no type " + typeName + " in this package"
+		}
+		return st.lockKeyForField(tn, fieldName)
+	}
+	// Sibling field of the annotated struct.
+	if within != nil {
+		if tn, ok := st.pass.TypesInfo.Defs[within.Name].(*types.TypeName); ok {
+			if key, problem := st.lockKeyForField(tn, arg); problem == "" {
+				return key, ""
+			}
+		}
+	}
+	// Package-level mutex variable.
+	if v, ok := st.pass.Pkg.Scope().Lookup(arg).(*types.Var); ok && isMutexType(v.Type()) {
+		return st.path + "." + arg, ""
+	}
+	return "", "no sibling mutex field, same-package Type.Field, or package-level mutex named " + arg
+}
+
+// lockKeyForField builds the key for a named struct's mutex field.
+func (st *pkgState) lockKeyForField(tn *types.TypeName, fieldName string) (lock, problem string) {
+	s, ok := framework.Deref(tn.Type()).Underlying().(*types.Struct)
+	if !ok {
+		return "", tn.Name() + " is not a struct"
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if f.Name() != fieldName {
+			continue
+		}
+		if !isMutexType(f.Type()) {
+			return "", tn.Name() + "." + fieldName + " is not a sync.Mutex or sync.RWMutex"
+		}
+		return st.path + "." + tn.Name() + "." + fieldName, ""
+	}
+	return "", tn.Name() + " has no field " + fieldName
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex
+// (pointers included).
+func isMutexType(t types.Type) bool {
+	named := framework.NamedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// --- per-function dataflow --------------------------------------------
+
+// fnChecker walks one function body with a flowing lock set.
+type fnChecker struct {
+	st     *pkgState
+	fn     *ast.FuncDecl
+	dirs   framework.LineDirectives
+	sum    *fnSummary
+	waived bool // //smt:nolock-audited on the whole function
+}
+
+func (st *pkgState) checkFunc(fn *ast.FuncDecl, obj *types.Func, dirs framework.LineDirectives) {
+	sum := &fnSummary{fn: fn, acquires: map[string]bool{}}
+	st.sums[obj] = sum
+	st.order = append(st.order, obj)
+
+	c := &fnChecker{st: st, fn: fn, dirs: dirs, sum: sum}
+	_, c.waived = framework.FuncDirective(fn, "nolock-audited")
+
+	entry := lockset{}
+	if arg, ok := framework.FuncDirective(fn, "locked"); ok {
+		for _, name := range strings.Split(arg, ",") {
+			lock, problem := st.resolveLockedArg(strings.TrimSpace(name), fn)
+			if problem != "" {
+				st.pass.Reportf(fn.Pos(), "guardedby: bad //smt:locked(%s) on %s: %s",
+					arg, fn.Name.Name, problem)
+				continue
+			}
+			entry[lock] = holdWrite
+			sum.requires = append(sum.requires, lock)
+		}
+	}
+	c.walkBlock(fn.Body.List, entry)
+}
+
+// resolveLockedArg resolves a //smt:locked argument against the
+// function's receiver type (methods) or the package scope.
+func (st *pkgState) resolveLockedArg(arg string, fn *ast.FuncDecl) (lock, problem string) {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && !strings.Contains(arg, ".") {
+		t := fn.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			if tn, ok := st.pass.TypesInfo.Uses[id].(*types.TypeName); ok {
+				return st.lockKeyForField(tn, arg)
+			}
+			if tn, ok := st.pass.TypesInfo.Defs[id].(*types.TypeName); ok {
+				return st.lockKeyForField(tn, arg)
+			}
+		}
+	}
+	return st.resolveLockArg(arg, nil)
+}
+
+// walkBlock processes stmts in order; reports whether control never
+// reaches the end (every path terminated).
+func (c *fnChecker) walkBlock(stmts []ast.Stmt, ls lockset) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, ls) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt processes one statement, mutating ls in place, and reports
+// whether the statement always terminates control flow.
+func (c *fnChecker) walkStmt(stmt ast.Stmt, ls lockset) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if c.applyLockOp(call, ls, false) {
+				return false
+			}
+			if isPanicCall(c.st.pass.TypesInfo, call) {
+				c.checkRead(s.X, ls)
+				return true
+			}
+		}
+		c.checkRead(s.X, ls)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkRead(rhs, ls)
+		}
+		for _, lhs := range s.Lhs {
+			c.checkWrite(lhs, ls)
+		}
+	case *ast.IncDecStmt:
+		c.checkWrite(s.X, ls)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() pins the lock held to function exit; other
+		// deferred calls run with an unknown lock set, so their bodies
+		// and edges are judged lock-free (conservative).
+		if c.applyLockOp(s.Call, ls, true) {
+			return false
+		}
+		for _, a := range s.Call.Args {
+			c.checkRead(a, ls)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.walkBlock(lit.Body.List, lockset{})
+		} else {
+			c.checkRead(s.Call.Fun, ls)
+		}
+	case *ast.GoStmt:
+		// The spawned function runs on another goroutine: empty set.
+		for _, a := range s.Call.Args {
+			c.checkRead(a, ls)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			c.walkBlock(lit.Body.List, lockset{})
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkRead(r, ls)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto end this path's straight line
+	case *ast.BlockStmt:
+		return c.walkBlock(s.List, ls)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, ls)
+		}
+		c.checkRead(s.Cond, ls)
+		bodyLs := ls.clone()
+		tBody := c.walkBlock(s.Body.List, bodyLs)
+		if s.Else == nil {
+			if !tBody {
+				replace(ls, ls.intersect(bodyLs))
+			}
+			return false
+		}
+		elseLs := ls.clone()
+		tElse := c.walkStmt(s.Else, elseLs)
+		switch {
+		case tBody && tElse:
+			return true
+		case tBody:
+			replace(ls, elseLs)
+		case tElse:
+			replace(ls, bodyLs)
+		default:
+			replace(ls, bodyLs.intersect(elseLs))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, ls)
+		}
+		if s.Cond != nil {
+			c.checkRead(s.Cond, ls)
+		}
+		bodyLs := ls.clone()
+		c.walkBlock(s.Body.List, bodyLs)
+		if s.Post != nil {
+			c.walkStmt(s.Post, bodyLs)
+		}
+		replace(ls, ls.intersect(bodyLs))
+	case *ast.RangeStmt:
+		c.checkRead(s.X, ls)
+		bodyLs := ls.clone()
+		c.walkBlock(s.Body.List, bodyLs)
+		replace(ls, ls.intersect(bodyLs))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, ls)
+		}
+		if s.Tag != nil {
+			c.checkRead(s.Tag, ls)
+		}
+		return c.walkClauses(s.Body, ls, !switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, ls)
+		}
+		return c.walkClauses(s.Body, ls, !switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		// A select always runs exactly one case (blocking until then).
+		return c.walkClauses(s.Body, ls, false)
+	case *ast.SendStmt:
+		c.checkRead(s.Chan, ls)
+		c.checkRead(s.Value, ls)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, ls)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkRead(v, ls)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walkClauses merges a switch/select body: the out-set is the
+// intersection of every non-terminating clause (plus the entry set when
+// fallThroughEntry — a switch without a default may match nothing).
+// Terminates only when every clause terminates and entry cannot fall
+// through.
+func (c *fnChecker) walkClauses(body *ast.BlockStmt, ls lockset, fallThroughEntry bool) bool {
+	var outs []lockset
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.checkRead(e, ls)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			cls := ls.clone()
+			if cl.Comm != nil {
+				c.walkStmt(cl.Comm, cls)
+			}
+			if !c.walkBlock(cl.Body, cls) {
+				outs = append(outs, cls)
+			}
+			continue
+		default:
+			continue
+		}
+		cls := ls.clone()
+		if !c.walkBlock(stmts, cls) {
+			outs = append(outs, cls)
+		}
+	}
+	if fallThroughEntry {
+		outs = append(outs, ls.clone())
+	}
+	if len(outs) == 0 {
+		return true
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = merged.intersect(o)
+	}
+	replace(ls, merged)
+	return false
+}
+
+// replace overwrites ls's contents with src (both alias callers' maps).
+func replace(ls, src lockset) {
+	for k := range ls {
+		delete(ls, k)
+	}
+	for k, v := range src {
+		ls[k] = v
+	}
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// applyLockOp mutates ls when call is mu.Lock/RLock/Unlock/RUnlock on a
+// keyable mutex, and reports whether it was one. Deferred unlocks pin
+// the lock (no removal); TryLock is ignored — its success is a branch
+// the lite dataflow does not follow.
+func (c *fnChecker) applyLockOp(call *ast.CallExpr, ls lockset, deferred bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.st.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isMutexType(recv.Type()) {
+		return false
+	}
+	key := c.st.lockKeyOf(sel.X)
+	if key == "" {
+		return true // a mutex op on an unkeyable expression: no tracking
+	}
+	switch fn.Name() {
+	case "Lock":
+		ls[key] = holdWrite
+		c.sum.acquires[key] = true
+	case "RLock":
+		ls[key] = holdRead
+		c.sum.acquires[key] = true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(ls, key)
+		}
+	default:
+		return true // TryLock &c.: recognized, untracked
+	}
+	return true
+}
+
+// lockKeyOf renders the expression a mutex method was called on as a
+// lock key: base.mu (field selector) or mu (package-level var).
+// Unkeyable shapes (local mutexes, embedded locks) return "".
+func (st *pkgState) lockKeyOf(expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		s, ok := st.pass.TypesInfo.Selections[e]
+		if !ok || s.Kind() != types.FieldVal {
+			return ""
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok || field.Pkg() == nil {
+			return ""
+		}
+		named := framework.NamedOf(s.Recv())
+		if named == nil {
+			return ""
+		}
+		return framework.NormalizePkgPath(field.Pkg().Path()) + "." + named.Obj().Name() + "." + field.Name()
+	case *ast.Ident:
+		v, ok := st.pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return ""
+		}
+		return framework.NormalizePkgPath(v.Pkg().Path()) + "." + v.Name()
+	}
+	return ""
+}
+
+// --- access checking --------------------------------------------------
+
+// checkRead walks expr, requiring any hold for each guarded field read
+// and recording call edges. Function literals are analyzed with an
+// empty lock set (they run at an unknown time, possibly on another
+// goroutine).
+func (c *fnChecker) checkRead(expr ast.Expr, ls lockset) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.walkBlock(n.Body.List, lockset{})
+			return false
+		case *ast.CallExpr:
+			c.recordCall(n, ls)
+		case *ast.SelectorExpr:
+			c.checkAccess(n, ls, false)
+		}
+		return true
+	})
+}
+
+// checkWrite requires a write hold along the selector chain of an
+// assignment target, then read-checks any embedded index expressions.
+func (c *fnChecker) checkWrite(lhs ast.Expr, ls lockset) {
+	lhs = ast.Unparen(lhs)
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			c.checkRead(e.Index, ls)
+			lhs = ast.Unparen(e.X)
+			continue
+		case *ast.StarExpr:
+			lhs = ast.Unparen(e.X)
+			continue
+		case *ast.SelectorExpr:
+			c.checkAccess(e, ls, true)
+			lhs = ast.Unparen(e.X)
+			continue
+		}
+		return
+	}
+}
+
+// checkAccess judges one selector against the guarded-field table.
+func (c *fnChecker) checkAccess(sel *ast.SelectorExpr, ls lockset, write bool) {
+	s, ok := c.st.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, guarded := c.st.guarded[field]
+	if !guarded {
+		return
+	}
+	mode := ls[g.lock]
+	if write && mode == holdWrite {
+		return
+	}
+	if !write && mode >= holdRead {
+		return
+	}
+	if c.waived || c.dirs.Allowed(c.st.pass.Fset, sel.Pos(), "nolock-audited") {
+		return
+	}
+	verb := "read"
+	needs := "it"
+	if write {
+		verb = "write"
+		if mode == holdRead {
+			needs = "it for writing (RLock held)"
+		}
+	}
+	c.st.pass.Reportf(sel.Sel.Pos(),
+		"guardedby: %s of %s (guarded by %s) without holding %s: lock the mutex, or annotate //smt:nolock-audited with the reason it is safe",
+		verb, field.Name(), shortLock(g.lock), needs)
+}
+
+// recordCall stores a resolved call edge with the current lock set for
+// post-fixpoint judgment.
+func (c *fnChecker) recordCall(call *ast.CallExpr, ls lockset) {
+	callee := framework.CalleeFunc(c.st.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	c.sum.calls = append(c.sum.calls, callSite{pos: call.Pos(), callee: callee, held: ls.clone()})
+}
+
+// --- summaries, propagation, judgment ---------------------------------
+
+// propagateAcquires unions callee acquires into callers to a fixpoint.
+func (st *pkgState) propagateAcquires() {
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range st.order {
+			s := st.sums[obj]
+			for _, cs := range s.calls {
+				for _, lock := range st.calleeAcquires(cs.callee) {
+					if !s.acquires[lock] {
+						s.acquires[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// calleeAcquires resolves a callee's acquires set: the local summary
+// when it lives here, its imported fact otherwise.
+func (st *pkgState) calleeAcquires(callee *types.Func) []string {
+	if s, ok := st.sums[callee]; ok {
+		return sortedKeys(s.acquires)
+	}
+	var f LockSummary
+	if st.pass.ImportFact(callee, &f) {
+		return f.Acquires
+	}
+	return nil
+}
+
+// calleeRequires resolves a callee's declared preconditions.
+func (st *pkgState) calleeRequires(callee *types.Func) []string {
+	if s, ok := st.sums[callee]; ok {
+		return s.requires
+	}
+	var f LockSummary
+	if st.pass.ImportFact(callee, &f) {
+		return f.Requires
+	}
+	return nil
+}
+
+// judgeCalls enforces, at every recorded call site, the callee's
+// //smt:locked preconditions and the no-self-deadlock rule.
+func (st *pkgState) judgeCalls() {
+	for _, obj := range st.order {
+		s := st.sums[obj]
+		for _, cs := range s.calls {
+			for _, lock := range st.calleeRequires(cs.callee) {
+				if cs.held[lock] == 0 {
+					st.pass.Reportf(cs.pos,
+						"guardedby: call to %s requires %s held (//smt:locked): acquire it first",
+						funcLabel(st.pass, cs.callee), shortLock(lock))
+				}
+			}
+			for _, lock := range st.calleeAcquires(cs.callee) {
+				if cs.held[lock] != 0 && !requiresLock(st.calleeRequires(cs.callee), lock) {
+					st.pass.Reportf(cs.pos,
+						"guardedby: call to %s acquires %s, which is already held here — potential self-deadlock",
+						funcLabel(st.pass, cs.callee), shortLock(lock))
+				}
+			}
+		}
+	}
+}
+
+func requiresLock(requires []string, lock string) bool {
+	for _, r := range requires {
+		if r == lock {
+			return true
+		}
+	}
+	return false
+}
+
+// exportFacts publishes each function's LockSummary for dependents.
+// A function whose summary is empty exports nothing.
+func (st *pkgState) exportFacts() {
+	for _, obj := range st.order {
+		s := st.sums[obj]
+		acq := sortedKeys(s.acquires)
+		if len(s.requires) == 0 && len(acq) == 0 {
+			continue
+		}
+		req := append([]string(nil), s.requires...)
+		sort.Strings(req)
+		st.pass.ExportFact(obj, &LockSummary{Requires: req, Acquires: acq})
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// shortLock trims the module prefix for readable diagnostics while
+// keeping the path unambiguous.
+func shortLock(lock string) string {
+	return lock
+}
+
+// funcLabel renders a callee as Recv.Name or Name, package-qualified
+// when foreign.
+func funcLabel(pass *framework.Pass, fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := framework.NamedOf(recv.Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,26 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"smtsim/internal/analysis/analysistest"
+	"smtsim/internal/analysis/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer,
+		"smtsim/internal/cellstore",
+		"smtsim/internal/sweepd",
+	)
+}
+
+// TestGuardedbyFactsGob re-runs the cross-package fixture with the fact
+// store gob-encoded and decoded between the two packages, proving the
+// LockSummary facts survive the wire format go vet's .vetx files use —
+// the same round trip the PR 7 scratch→fu allocfree chain proves.
+func TestGuardedbyFactsGob(t *testing.T) {
+	analysistest.RunGob(t, "testdata", guardedby.Analyzer,
+		"smtsim/internal/cellstore",
+		"smtsim/internal/sweepd",
+	)
+}

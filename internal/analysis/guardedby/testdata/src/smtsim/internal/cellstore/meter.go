@@ -1,0 +1,97 @@
+// Package cellstore is a miniature stand-in exercising the guardedby
+// annotation grammar and lock-set dataflow: sibling-field guards,
+// //smt:locked preconditions, early-unlock branches, self-deadlock
+// through acquires summaries, and the nolock-audited escapes.
+package cellstore
+
+import "sync"
+
+// Meter counts hits under a mutex.
+type Meter struct {
+	Mu sync.Mutex
+	//smt:guarded-by(Mu)
+	hits int
+	//smt:guarded-by(Mu)
+	peak int
+}
+
+// Add increments the counter; the caller holds the lock.
+//
+//smt:locked(Mu)
+func (m *Meter) Add(n int) {
+	m.hits += n
+}
+
+// Bump locks around the whole update.
+func (m *Meter) Bump() {
+	m.Mu.Lock()
+	defer m.Mu.Unlock()
+	m.hits++
+	if m.hits > m.peak {
+		m.peak = m.hits
+	}
+}
+
+// Snapshot uses the early-unlock hit path the store's Get uses.
+func (m *Meter) Snapshot(fast bool) int {
+	m.Mu.Lock()
+	if fast {
+		n := m.hits
+		m.Mu.Unlock()
+		return n
+	}
+	n := m.hits + m.peak
+	m.Mu.Unlock()
+	return n
+}
+
+// Racy reads without the lock.
+func (m *Meter) Racy() int {
+	return m.hits // want `guardedby: read of hits \(guarded by smtsim/internal/cellstore\.Meter\.Mu\) without holding it`
+}
+
+// EarlyUnlock writes after the lock is provably gone.
+func (m *Meter) EarlyUnlock(flush bool) {
+	m.Mu.Lock()
+	if flush {
+		m.hits = 0
+		m.Mu.Unlock()
+		return
+	}
+	m.Mu.Unlock()
+	m.hits++ // want `guardedby: write of hits .* without holding it`
+}
+
+// Nested calls a self-locking method while already holding the lock.
+func (m *Meter) Nested() {
+	m.Mu.Lock()
+	defer m.Mu.Unlock()
+	m.Bump() // want `guardedby: call to Meter\.Bump acquires smtsim/internal/cellstore\.Meter\.Mu, which is already held`
+}
+
+// CallsAddUnlocked violates Add's declared precondition.
+func (m *Meter) CallsAddUnlocked() {
+	m.Add(1) // want `guardedby: call to Meter\.Add requires smtsim/internal/cellstore\.Meter\.Mu held`
+}
+
+// AddLocked satisfies it.
+func (m *Meter) AddLocked() {
+	m.Mu.Lock()
+	m.Add(1)
+	m.Mu.Unlock()
+}
+
+// NewMeter initializes a value no other goroutine can see yet.
+//
+//smt:nolock-audited — fresh Meter, unpublished until return
+func NewMeter(seed int) *Meter {
+	m := &Meter{}
+	m.hits = seed
+	return m
+}
+
+// LineAudited escapes one line only.
+func (m *Meter) LineAudited() int {
+	n := m.hits //smt:nolock-audited — test-only accessor, single-threaded harness
+	return n
+}

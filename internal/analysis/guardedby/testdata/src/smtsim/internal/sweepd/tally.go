@@ -1,0 +1,28 @@
+// Package sweepd is the cross-package half of the guardedby fixtures:
+// every requirement checked here arrives as a LockSummary fact exported
+// while the cellstore fixture package was analyzed — nothing in this
+// file names a lock except by acquiring it.
+package sweepd
+
+import "smtsim/internal/cellstore"
+
+// Tally calls a lock-requiring method without the lock; the
+// precondition crosses the package boundary as a fact.
+func Tally(m *cellstore.Meter) {
+	m.Add(1) // want `guardedby: call to cellstore\.Meter\.Add requires smtsim/internal/cellstore\.Meter\.Mu held`
+}
+
+// TallyLocked holds the foreign mutex first.
+func TallyLocked(m *cellstore.Meter) {
+	m.Mu.Lock()
+	m.Add(1)
+	m.Mu.Unlock()
+}
+
+// Deadlock wraps a self-locking foreign method in its own lock; the
+// acquires summary crosses as a fact too.
+func Deadlock(m *cellstore.Meter) {
+	m.Mu.Lock()
+	defer m.Mu.Unlock()
+	m.Bump() // want `guardedby: call to cellstore\.Meter\.Bump acquires smtsim/internal/cellstore\.Meter\.Mu, which is already held`
+}

@@ -35,6 +35,62 @@ func IsCyclePath(path string) bool {
 	return false
 }
 
+// ServicePackages lists the packages that form the concurrent sweep
+// service (DESIGN.md §10): the cell store, the HTTP daemon, and its
+// command wrapper. Concurrency is *allowed* here — unlike the cycle
+// path, where detlint forbids it outright — so the discipline is
+// verification instead of prohibition: guardedby proves annotated
+// shared state is only touched under its mutex, golife ties every
+// goroutine to a lifecycle and every channel close to its declared
+// owner, and atomicfs confines raw filesystem mutation to the blessed
+// crash-consistency helpers (DESIGN.md §11).
+var ServicePackages = []string{
+	"smtsim/internal/sweepd",
+	"smtsim/internal/cellstore",
+	"smtsim/cmd/smtsweepd",
+}
+
+// IsServicePackage reports whether a (normalized) import path is part
+// of the service layer.
+func IsServicePackage(path string) bool {
+	for _, p := range ServicePackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// AtomicFSAllowed enumerates the blessed crash-consistency helpers:
+// the only functions in the service layer allowed to call the raw
+// file-mutating os functions (os.WriteFile, os.Create, os.CreateTemp,
+// os.OpenFile, os.Rename, os.Truncate, os.RemoveAll). Everything else
+// must route through these, so the cell store's torn-tail/atomic-rename
+// protocol (DESIGN.md §10) is an invariant, not a convention. There is
+// deliberately no line-level escape hatch: a new raw write site is a
+// protocol change and belongs on this list, reviewed.
+var AtomicFSAllowed = []FuncRef{
+	// AtomicWrite: same-directory temp file + rename; readers observe
+	// old or new bytes, never a prefix.
+	{Pkg: "smtsim/internal/cellstore", Func: "AtomicWrite"},
+	// appendShard: one O_APPEND write per record; a torn tail is
+	// recovered (truncated) by the next Open.
+	{Pkg: "smtsim/internal/cellstore", Func: "appendShard"},
+	// createLease: O_CREATE|O_EXCL fast path of the lease protocol;
+	// steals go through AtomicWrite.
+	{Pkg: "smtsim/internal/cellstore", Func: "createLease"},
+}
+
+// IsAtomicFSAllowed reports whether pkg.fnKey is a blessed helper.
+func IsAtomicFSAllowed(pkg, fnKey string) bool {
+	for _, f := range AtomicFSAllowed {
+		if f.Pkg == pkg && f.Func == fnKey {
+			return true
+		}
+	}
+	return false
+}
+
 // ProtectedState describes one package whose architectural state is
 // location-exclusive: its struct fields may be mutated only from inside
 // the owning package, or from a function that declares itself a pipeline

@@ -1,0 +1,32 @@
+// Package cellstore seeds the service-layer violations. Dump is the
+// atomicfs seed: a raw os.WriteFile in a service package, outside the
+// blessed crash-consistency helpers. Ledger is the dependency half of
+// the cross-package guardedby seed: Add's //smt:locked precondition is
+// exported as a LockSummary fact here and must be read back — in a
+// separate vettool process — when internal/sweepd is analyzed.
+package cellstore
+
+import (
+	"os"
+	"sync"
+)
+
+// Ledger counts landed cells.
+type Ledger struct {
+	Mu sync.Mutex
+	//smt:guarded-by(Mu)
+	N int
+}
+
+// Add increments; the caller holds Mu.
+//
+//smt:locked(Mu)
+func (l *Ledger) Add(n int) {
+	l.N += n
+}
+
+// Dump is the seeded atomicfs violation: a torn-readable whole-file
+// write where the protocol demands AtomicWrite.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

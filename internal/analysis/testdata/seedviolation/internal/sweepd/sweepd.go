@@ -1,0 +1,20 @@
+// Package sweepd seeds two service-layer violations. Tick is the
+// cross-package guardedby seed: it calls cellstore.Ledger.Add without
+// the lock Add's //smt:locked(Mu) precondition demands — nothing in
+// this package names the requirement, so rejecting it needs the
+// LockSummary fact exported while internal/cellstore was analyzed, read
+// back through go vet's .vetx round trip. Spawn is the golife seed: an
+// untracked, unaudited goroutine.
+package sweepd
+
+import "smtsim/internal/cellstore"
+
+// Tick bumps the ledger lock-free.
+func Tick(l *cellstore.Ledger) {
+	l.Add(1)
+}
+
+// Spawn leaks a goroutine with no WaitGroup and no audit.
+func Spawn(l *cellstore.Ledger) {
+	go Tick(l)
+}

@@ -86,12 +86,16 @@ type outcome struct {
 
 // flight is the singleflight entry for one cell hash that is queued or
 // simulating. All sweeps that want the cell attach waiters; the first
-// submission enqueues it.
+// submission enqueues it. Flights live in Server.flights and share the
+// Server's lock; spec is immutable after the constructing enqueue.
 type flight struct {
-	spec    cellstore.Spec
+	spec cellstore.Spec
+	//smt:guarded-by(Server.mu)
 	waiters []waiter
-	done    bool
-	out     outcome
+	//smt:guarded-by(Server.mu)
+	done bool
+	//smt:guarded-by(Server.mu)
+	out outcome
 }
 
 type waiter struct {
@@ -99,15 +103,23 @@ type waiter struct {
 	idx int
 }
 
-// sweepRun tracks one submitted cell set.
+// sweepRun tracks one submitted cell set. id, hashes and specs are
+// immutable once the run is published in Server.sweeps; the mutable
+// completion state below mu is its own lock domain (workers complete
+// cells while handlers snapshot progress, without touching Server.mu).
 type sweepRun struct {
 	id     string
 	hashes []string
 	specs  []cellstore.Spec
 
-	mu        sync.Mutex
-	outcomes  []*outcome // index-aligned, nil until the cell lands
-	landed    []int      // indices in completion order (the stream order)
+	mu sync.Mutex
+	// outcomes is index-aligned with hashes, nil until the cell lands.
+	//smt:guarded-by(mu)
+	outcomes []*outcome
+	// landed holds indices in completion order (the stream order).
+	//smt:guarded-by(mu)
+	landed []int
+	//smt:guarded-by(mu)
 	remaining int
 }
 
@@ -155,14 +167,21 @@ type Server struct {
 	store *cellstore.Store
 	mux   *http.ServeMux
 
-	mu        sync.Mutex
-	queue     []string // FIFO of cell hashes awaiting a worker
-	flights   map[string]*flight
-	sweeps    map[string]*sweepRun
+	mu sync.Mutex
+	// queue is the FIFO of cell hashes awaiting a worker.
+	//smt:guarded-by(mu)
+	queue []string
+	//smt:guarded-by(mu)
+	flights map[string]*flight
+	//smt:guarded-by(mu)
+	sweeps map[string]*sweepRun
+	//smt:guarded-by(mu)
 	nextSweep int
-	stats     Stats
+	//smt:guarded-by(mu)
+	stats Stats
 
 	wake chan struct{}
+	//smt:close-owner(Server.Shutdown)
 	quit chan struct{}
 	wg   sync.WaitGroup
 }
@@ -246,11 +265,7 @@ func (s *Server) checkpoint() error {
 	if err != nil {
 		return fmt.Errorf("sweepd: %w", err)
 	}
-	tmp := s.checkpointPath() + ".tmp"
-	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
-		return fmt.Errorf("sweepd: %w", err)
-	}
-	if err := os.Rename(tmp, s.checkpointPath()); err != nil {
+	if err := cellstore.AtomicWrite(s.checkpointPath(), append(b, '\n')); err != nil {
 		return fmt.Errorf("sweepd: %w", err)
 	}
 	s.cfg.Logf("sweepd: checkpointed %d pending cells", len(pending))
@@ -378,12 +393,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	run := &sweepRun{
-		specs:    req.Cells,
-		hashes:   make([]string, len(req.Cells)),
-		outcomes: make([]*outcome, len(req.Cells)),
+	// Hash every cell before the run is published: once it is in
+	// s.sweeps, handlers on other goroutines read run.hashes, so the
+	// slice must be immutable by then.
+	hashes := make([]string, len(req.Cells))
+	for i, spec := range req.Cells {
+		hashes[i] = spec.Key()
 	}
-	run.remaining = len(req.Cells)
+	run := &sweepRun{
+		specs:     req.Cells,
+		hashes:    hashes,
+		outcomes:  make([]*outcome, len(req.Cells)),
+		remaining: len(req.Cells),
+	}
 
 	s.mu.Lock()
 	s.nextSweep++
@@ -394,8 +416,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	cached := 0
 	for i, spec := range req.Cells {
-		hash := spec.Key()
-		run.hashes[i] = hash
+		hash := hashes[i]
 		if res, ok, err := s.store.Get(hash); err == nil && ok {
 			run.complete(i, outcome{Result: res})
 			cached++

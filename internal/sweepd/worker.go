@@ -63,11 +63,12 @@ func (s *Server) requeue(hash string) {
 func (s *Server) process(hash string) {
 	s.mu.Lock()
 	f := s.flights[hash]
-	s.mu.Unlock()
 	if f == nil || f.done {
+		s.mu.Unlock()
 		return
 	}
 	spec := f.spec
+	s.mu.Unlock()
 
 	for {
 		if res, ok, err := s.store.Get(hash); err == nil && ok {
