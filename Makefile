@@ -1,6 +1,6 @@
 # Tier-1 verification and benchmark recording.
 
-.PHONY: verify bench test vet lint race
+.PHONY: verify bench test vet lint race profile
 
 # verify is the tier-1 flow: vet, lint, build, the full test suite, and
 # the race detector over the concurrent sweep harness, the sweep
@@ -36,3 +36,14 @@ race:
 BENCH_OUT ?= BENCH.json
 bench:
 	scripts/bench.sh $(BENCH_OUT)
+
+# profile runs the Table 1 reference workload under the CPU and
+# allocation profilers and prints the hottest functions — the first stop
+# when attacking the busy-cycle cost model of DESIGN.md §12. Override
+# the instruction budget with PROFILE_N, flags with PROFILE_FLAGS.
+PROFILE_N ?= 2000000
+PROFILE_FLAGS ?= -bench equake,twolf,gcc,gzip -iq 64 -sched 2op-ooo-dispatch
+profile:
+	go build -o bin/smtsim ./cmd/smtsim
+	bin/smtsim $(PROFILE_FLAGS) -n $(PROFILE_N) -cpuprofile cpu.prof -memprofile mem.prof
+	go tool pprof -top -nodecount 25 bin/smtsim cpu.prof

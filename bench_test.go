@@ -59,6 +59,36 @@ func BenchmarkTable1Machine(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 }
 
+// TestRunAllocationCeiling guards the whole-run allocation budget: one
+// complete Table 1 simulation — machine construction included — must
+// stay within the ceiling. The steady-state cycle path is separately
+// required to allocate zero (pipeline.TestStepSteadyStateZeroAllocs);
+// this test pins the setup cost, which flat backing-array construction
+// in cache.New, bpred.NewBTB, and the event wheel brought down from
+// ~2300 allocations to ~230. The ceiling has ~2x headroom so it trips
+// on regressions to per-set or per-slot allocation, not on noise.
+func TestRunAllocationCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not short")
+	}
+	const ceiling = 500
+	avg := testing.AllocsPerRun(3, func() {
+		_, err := smtsim.Run(smtsim.Config{
+			Benchmarks:      []string{"equake", "twolf", "gcc", "gzip"},
+			IQSize:          64,
+			Scheduler:       smtsim.TwoOpOOOD,
+			MaxInstructions: 10_000,
+			Seed:            1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Errorf("whole run allocates %.0f objects, ceiling %d", avg, ceiling)
+	}
+}
+
 // BenchmarkTables2to4Mixes runs one representative mix from each of the
 // paper's three workload tables, validating that every encoded mix is
 // executable; the metric is aggregate IPC.

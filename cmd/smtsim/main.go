@@ -6,12 +6,19 @@
 //
 // The -sched flag accepts "traditional", "2op-block",
 // "2op-ooo-dispatch", or "2op-ooo-dispatch-filtered".
+//
+// -cpuprofile and -memprofile write pprof artifacts covering exactly the
+// simulation (flag parsing and result printing excluded), for the
+// busy-cycle cost accounting in DESIGN.md §12; `make profile` wraps the
+// common case.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"smtsim"
@@ -34,6 +41,8 @@ func main() {
 		part2     = flag.Int("iq2", 0, "two-comparator IQ entries")
 		sanitize  = flag.Bool("sanitize", false, "run the cycle-level invariant sanitizer (roughly 10x slower)")
 		listBench = flag.Bool("list", false, "list available benchmarks and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -88,9 +97,34 @@ func main() {
 		usage("unknown deadlock mechanism %q (want dab | watchdog | none)", *deadlock)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res, err := smtsim.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile() // stop before printing so output formatting stays out of the profile
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // flush accumulated allocation records
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	fmt.Printf("scheduler=%s iq=%d threads=%d\n", scheduler, *iqSize, len(cfg.Benchmarks))
 	fmt.Printf("cycles=%d committed=%d IPC=%.3f\n", res.Cycles, res.Committed, res.IPC)

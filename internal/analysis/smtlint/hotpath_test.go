@@ -71,6 +71,7 @@ var hotpathManifest = []string{
 	"core.Dispatcher.runThreadOOO",
 	"core.Dispatcher.samplePiled",
 	"core.Dispatcher.srcNotReady",
+	"core.Dispatcher.tickEmpty",
 	"core.Watchdog.Tick",
 	"core.taintSet.clear",
 	"core.taintSet.has",
@@ -89,6 +90,8 @@ var hotpathManifest = []string{
 	"iq.Queue.UOpReady",
 	"iq.Queue.detach",
 	"iq.Queue.dropReady",
+	"iq.Queue.settle",
+	"iq.Queue.settleTo",
 	"iq.Queue.srcNotReady",
 	"iq.Queue.wake",
 	"lsq.LSQ.Alloc",
@@ -106,9 +109,13 @@ var hotpathManifest = []string{
 	"pipeline.Core.issueUOp",
 	"pipeline.Core.noteLoadDone",
 	"pipeline.Core.noteLoadIssue",
+	"pipeline.Core.recomputeFetchHorizon",
 	"pipeline.Core.rename",
 	"pipeline.Core.stepCycle",
+	"pipeline.Core.stepGated",
+	"pipeline.Core.stepPlain",
 	"pipeline.Core.writeback",
+	"pipeline.eventWheel.hasDue",
 	"pipeline.eventWheel.nextDue",
 	"pipeline.eventWheel.popDue",
 	"pipeline.eventWheel.schedule",

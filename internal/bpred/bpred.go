@@ -33,6 +33,7 @@ type Gshare struct {
 	pht      []counter
 	history  uint32
 	histBits uint
+	histMask uint32
 	mask     uint32
 }
 
@@ -45,6 +46,7 @@ func NewGshare(entries int, historyBits uint) *Gshare {
 	g := &Gshare{
 		pht:      make([]counter, entries),
 		histBits: historyBits,
+		histMask: uint32(1)<<historyBits - 1,
 		mask:     uint32(entries - 1),
 	}
 	// Weakly taken initial state converges quickly either way.
@@ -73,12 +75,15 @@ func (g *Gshare) Predict(pc uint64) bool {
 //smt:hotpath
 func (g *Gshare) Update(pc uint64, taken bool) {
 	i := g.index(pc)
-	g.pht[i] = g.pht[i].update(taken)
+	// One bool materialization (a flag set, not a jump) feeds both the
+	// saturating-counter LUT index and the history shift; the history
+	// mask is precomputed at construction.
 	t := uint32(0)
 	if taken {
 		t = 1
 	}
-	g.history = ((g.history << 1) | t) & ((1 << g.histBits) - 1)
+	g.pht[i] = counterNext[uint32(g.pht[i])<<1|t]
+	g.history = ((g.history << 1) | t) & g.histMask
 }
 
 // History exposes the current global history register (for tests).
@@ -111,8 +116,10 @@ func NewBTB(entries, ways int) *BTB {
 		panic("bpred: BTB set count must be a power of two")
 	}
 	b := &BTB{sets: make([][]btbEntry, nsets), setMask: uint64(nsets - 1)}
+	// One flat backing array for all sets (1024 per-set makes otherwise).
+	backing := make([]btbEntry, nsets*ways)
 	for i := range b.sets {
-		b.sets[i] = make([]btbEntry, ways)
+		b.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return b
 }

@@ -69,8 +69,11 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("cache %s: set count %d not a power of two", cfg.Name, nsets)
 	}
 	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: uint64(nsets - 1)}
+	// One flat backing array for every set: an L2-sized cache is thousands
+	// of sets, and a per-set make was the dominant setup allocation.
+	backing := make([]line, nsets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	for b := cfg.LineSize; b > 1; b >>= 1 {
 		c.offBits++

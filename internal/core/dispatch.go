@@ -110,6 +110,11 @@ type Dispatcher struct {
 	threads int
 	rr      int
 
+	// filtered caches policy.filtered(): the policy is fixed at
+	// construction and the flag is consulted per buffered instruction in
+	// the OOOD scan.
+	filtered bool
+
 	// perThreadCap, when positive, statically partitions the shared
 	// queue: no thread may hold more than this many IQ entries (Raasch &
 	// Reinhardt-style resource partitioning, [9] in the paper).
@@ -156,13 +161,14 @@ type Dispatcher struct {
 // prevent deadlock.
 func NewDispatcher(bank *uop.Bank, policy Policy, width, bufCap, threads int) *Dispatcher {
 	d := &Dispatcher{
-		bank:    bank,
-		policy:  policy,
-		width:   width,
-		threads: threads,
-		dab:     NewDAB(bank, threads),
-		useDAB:  true,
-		taint:   make([]taintSet, threads),
+		bank:     bank,
+		policy:   policy,
+		filtered: policy.filtered(),
+		width:    width,
+		threads:  threads,
+		dab:      NewDAB(bank, threads),
+		useDAB:   true,
+		taint:    make([]taintSet, threads),
 	}
 	d.bufs = make([]Buffer, threads)
 	for t := range d.bufs {
@@ -264,6 +270,21 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 		}
 		d.taintReady = true
 	}
+	// Fast path: with every buffer empty the cycle's only effects are the
+	// cycle count, the scan-origin rotation, and an all-idle replay
+	// capture — skip the per-thread scan and stall accounting entirely.
+	empty := true
+	for t := range d.bufs {
+		if d.bufs[t].size != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		d.tickEmpty()
+		return 0
+	}
+
 	budget := d.width
 	dispatched := 0
 	anyWork := false
@@ -275,10 +296,15 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 	copy(d.idleNDI, d.stats.NDIBlockCycles)
 	d.idleWork, d.idleStallAny, d.idleStallWeak, d.idleStallStrict = false, false, false, false
 
-	start := d.rr
-	d.rr = (d.rr + 1) % d.threads
-	for i := 0; i < d.threads; i++ {
-		t := (start + i) % d.threads
+	t := d.rr
+	d.rr++
+	if d.rr == d.threads {
+		d.rr = 0
+	}
+	for i := 0; i < d.threads; i, t = i+1, t+1 {
+		if t >= d.threads {
+			t = 0
+		}
 		if d.bufs[t].Len() == 0 {
 			continue
 		}
@@ -338,6 +364,25 @@ func (d *Dispatcher) Run(cycle int64, q *iq.Queue, rf *regfile.File, robs []*rob
 	d.idlePiled = d.stats.PiledSampled - entryPiled
 	d.idlePiledHDI = d.stats.PiledHDI - entryPiledHDI
 	return dispatched
+}
+
+// tickEmpty is Run's all-buffers-empty cycle: identical observable
+// effect to a full scan over empty buffers — the cycle count, the
+// rotating scan origin, and an idle-replay capture of "no work, zero
+// deltas" so a following ReplayIdle replays this cycle, not a stale one.
+//
+//smt:hotpath
+func (d *Dispatcher) tickEmpty() {
+	d.stats.Cycles++
+	d.rr++
+	if d.rr == d.threads {
+		d.rr = 0
+	}
+	d.idleWork, d.idleStallAny, d.idleStallWeak, d.idleStallStrict = false, false, false, false
+	for t := range d.idleNDI {
+		d.idleNDI[t] = 0
+	}
+	d.idlePiled, d.idlePiledHDI = 0, 0
 }
 
 // ReplayIdle applies k further cycles' worth of the accounting the last
@@ -473,6 +518,7 @@ scan:
 		idx := -1
 		sawNDI := false
 		var pick *uop.UOp
+		pickNR := 0
 		for j := 0; j < buf.Len(); j++ {
 			u := buf.At(j)
 			nr := d.srcNotReady(u, rf)
@@ -483,7 +529,7 @@ scan:
 				sawNDI = true
 				continue
 			}
-			if d.policy.filtered() && d.dependsOnNDI(t, u) {
+			if d.filtered && d.dependsOnNDI(t, u) {
 				// Idealized filter: withhold NDI-dependent HDIs. Their
 				// destinations are tainted so transitive dependents are
 				// withheld too.
@@ -517,6 +563,7 @@ scan:
 			}
 			idx = j
 			pick = u
+			pickNR = nr
 			break
 		}
 		if idx < 0 {
@@ -525,9 +572,8 @@ scan:
 			reason = blockNDI
 			break
 		}
-		nr := d.srcNotReady(pick, rf)
 		buf.RemoveAt(idx)
-		d.commitDispatch(cycle, t, pick, nr, q, rf, sawNDI && idx > 0)
+		d.commitDispatch(cycle, t, pick, pickNR, q, rf, sawNDI && idx > 0)
 		moved++
 		if d.atCap(t, q) {
 			reason = blockIQFull
@@ -704,7 +750,7 @@ func (d *Dispatcher) CheckInvariants(q *iq.Queue, rf *regfile.File) error {
 			if !q.ClassSupported(nr) {
 				continue
 			}
-			if d.policy.filtered() && d.dependsOnNDI(t, u) {
+			if d.filtered && d.dependsOnNDI(t, u) {
 				continue
 			}
 			return fmt.Errorf("core: thread %d scan freeze hides dispatchable gseq=%d (%d non-ready sources)",

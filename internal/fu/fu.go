@@ -13,10 +13,13 @@ import (
 )
 
 // Pool is one class of identical functional units, tracked as per-unit
-// next-free cycles.
+// next-free cycles. minFree caches min(freeAt) so the saturated case — a
+// blocked instruction retrying its reservation every cycle — fails in
+// one branchless compare instead of scanning every unit.
 type Pool struct {
-	name   string
-	freeAt []int64
+	name    string
+	freeAt  []int64
+	minFree int64
 }
 
 // newPool builds a pool of n units, all free at cycle 0.
@@ -25,16 +28,31 @@ func newPool(name string, n int) Pool {
 }
 
 // tryReserve finds a unit free at cycle and occupies it for busy cycles.
+// The single pass both claims the first free unit and re-derives minFree
+// over the updated columns, so the cached minimum is always exact.
 //
 //smt:hotpath
 func (p *Pool) tryReserve(cycle int64, busy int) bool {
-	for i := range p.freeAt {
-		if p.freeAt[i] <= cycle {
-			p.freeAt[i] = cycle + int64(busy)
-			return true
+	if p.minFree > cycle {
+		return false // every unit busy: min(freeAt) is exact
+	}
+	idx := -1
+	min := int64(1<<63 - 1)
+	for i, f := range p.freeAt {
+		if idx < 0 && f <= cycle {
+			idx = i
+			f = cycle + int64(busy)
+			p.freeAt[i] = f
+		}
+		if f < min {
+			min = f
 		}
 	}
-	return false
+	if idx < 0 {
+		return false // unreachable while minFree tracks min(freeAt)
+	}
+	p.minFree = min
+	return true
 }
 
 // available counts units free at the given cycle.

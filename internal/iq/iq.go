@@ -74,15 +74,29 @@ type Queue struct {
 	entries   []int32 // uop ids, slot order mirrored in UOp.IQSlot
 	perThread []int
 
+	// maxClass is the largest comparator count any entry has (precomputed
+	// from the partition so the per-uop NDI classification is a single
+	// compare, not a class scan).
+	maxClass int
+
 	// event selects event-driven wakeup; ready is the incrementally
 	// maintained ready list, ascending by seq (oldest first).
 	event bool
 	ready []readyEnt
 
-	// Statistics.
+	// Statistics. The occupancy statistic runs in one of two modes:
+	// legacy per-cycle sampling (Sample/SampleIdle, kept for standalone
+	// queues built by tests) or — when occNow is bound to the core's
+	// cycle counter — O(1) incremental integration: occupancy is
+	// piecewise constant between queue mutations, so every mutation first
+	// settles the elapsed span at the old occupancy (settle), and nothing
+	// at all runs on cycles that leave the queue untouched. Both modes
+	// accumulate the same integers, so the mean is bit-identical.
 	Inserts      uint64
 	occupancySum uint64
 	samples      uint64
+	occNow       *int64
+	occSettled   int64
 }
 
 // New builds a uniform queue over the core's uop bank with the given
@@ -108,11 +122,19 @@ func NewPartitioned(bank *uop.Bank, part Partition, threads int) *Queue {
 			panic("iq: negative partition class")
 		}
 	}
+	maxClass := 0
+	for k := NumClasses - 1; k >= 0; k-- {
+		if part[k] > 0 {
+			maxClass = k
+			break
+		}
+	}
 	return &Queue{
 		bank:      bank,
 		part:      part,
 		entries:   make([]int32, 0, part.Total()),
 		perThread: make([]int, threads),
+		maxClass:  maxClass,
 	}
 }
 
@@ -156,14 +178,7 @@ func (q *Queue) Free() int { return q.Cap() - len(q.entries) }
 func (q *Queue) Partition() Partition { return q.part }
 
 // MaxNonReady returns the largest comparator count any entry has.
-func (q *Queue) MaxNonReady() int {
-	for k := NumClasses - 1; k >= 0; k-- {
-		if q.part[k] > 0 {
-			return k
-		}
-	}
-	return 0
-}
+func (q *Queue) MaxNonReady() int { return q.maxClass }
 
 // ClassSupported reports whether the queue has any entries (occupied or
 // not) with at least n comparators: an instruction with n non-ready
@@ -171,14 +186,7 @@ func (q *Queue) MaxNonReady() int {
 // class — the static NDI condition of the 2OP designs.
 //
 //smt:hotpath
-func (q *Queue) ClassSupported(n int) bool {
-	for k := n; k < NumClasses; k++ {
-		if q.part[k] > 0 {
-			return true
-		}
-	}
-	return false
-}
+func (q *Queue) ClassSupported(n int) bool { return n <= q.maxClass }
 
 // CanAccept reports whether a free entry with at least n comparators
 // exists right now — the paper's Dispatchable Instruction condition
@@ -213,6 +221,7 @@ func (q *Queue) ThreadCount(t int) int { return q.perThread[t] }
 //
 //smt:hotpath
 func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
+	q.settle()
 	n := q.srcNotReady(u, rf)
 	for k := n; k < NumClasses; k++ {
 		if q.used[k] < q.part[k] {
@@ -239,6 +248,7 @@ func (q *Queue) Insert(u *uop.UOp, rf *regfile.File) {
 //smt:hotpath
 //smt:trusted-id — q.entries holds only resident ids: Insert adds, Remove/DrainThread delete, so the moved entry is live
 func (q *Queue) Remove(u *uop.UOp) {
+	q.settle()
 	i := int(u.IQSlot)
 	if !u.InIQ || i >= len(q.entries) || q.entries[i] != u.ID {
 		panic("iq: remove of absent entry")
@@ -429,6 +439,7 @@ func (q *Queue) readyPolled(rf *regfile.File, scratch []int32, pol SelectPolicy,
 //
 //smt:trusted-id — scans q.entries, which holds only resident ids
 func (q *Queue) DrainThread(t int) []*uop.UOp {
+	q.settle()
 	var out []*uop.UOp
 	kept := q.entries[:0]
 	for _, id := range q.entries {
@@ -447,31 +458,86 @@ func (q *Queue) DrainThread(t int) []*uop.UOp {
 	return out
 }
 
-// Sample accumulates an occupancy observation; call once per cycle.
+// BindCycleCounter switches the occupancy statistic to incremental
+// integration against the caller's cycle counter: every queue mutation
+// settles the span since the last one at the then-current occupancy, so
+// per-cycle Sample calls disappear from the cycle path. now must outlive
+// the queue and advance monotonically. Call before the first cycle;
+// Sample/SampleIdle become invalid afterwards.
+func (q *Queue) BindCycleCounter(now *int64) {
+	if len(q.entries) > 0 {
+		panic("iq: cannot bind a cycle counter with entries in flight")
+	}
+	q.occNow = now
+	q.occSettled = *now
+}
+
+// settle integrates the occupancy statistic through the end of the cycle
+// before the current one; callers invoke it before any mutation of the
+// entry set, while the occupancy still reflects every fully elapsed
+// cycle. No-op for unbound (legacy-sampling) queues.
+//
+//smt:hotpath
+func (q *Queue) settle() {
+	if q.occNow != nil {
+		q.settleTo(*q.occNow - 1)
+	}
+}
+
+// settleTo integrates the occupancy statistic through the end of cycle c
+// at the current occupancy.
+//
+//smt:hotpath
+func (q *Queue) settleTo(c int64) {
+	if c > q.occSettled {
+		q.occupancySum += uint64(c-q.occSettled) * uint64(len(q.entries))
+		q.samples += uint64(c - q.occSettled)
+		q.occSettled = c
+	}
+}
+
+// Sample accumulates an occupancy observation; call once per cycle
+// (legacy mode only — a bound queue integrates incrementally).
 //
 //smt:hotpath
 func (q *Queue) Sample() {
+	if q.occNow != nil {
+		panic("iq: Sample on a queue bound to a cycle counter")
+	}
 	q.occupancySum += uint64(len(q.entries))
 	q.samples++
 }
 
 // SampleIdle accumulates k occupancy observations at the current
-// occupancy in one step — the sampling the pipeline's quiescent-cycle
-// fast-forward owes for k skipped cycles, during which occupancy cannot
-// change.
+// occupancy in one step (legacy mode only — a bound queue integrates
+// skipped spans by itself).
 func (q *Queue) SampleIdle(k int64) {
+	if q.occNow != nil {
+		panic("iq: SampleIdle on a queue bound to a cycle counter")
+	}
 	q.occupancySum += uint64(k) * uint64(len(q.entries))
 	q.samples += uint64(k)
 }
 
 // ResetStats clears the sampling counters without touching queue
-// contents, for measurement after a warmup period.
+// contents, for measurement after a warmup period. A bound queue's
+// integration restarts at the current cycle — the caller resets at the
+// end of a cycle, whose observation belongs to the warmup period.
 func (q *Queue) ResetStats() {
 	q.Inserts, q.occupancySum, q.samples = 0, 0, 0
+	if q.occNow != nil {
+		q.occSettled = *q.occNow
+	}
 }
 
-// MeanOccupancy returns the average sampled occupancy.
+// MeanOccupancy returns the average per-cycle occupancy: the mean of the
+// end-of-cycle samples in legacy mode, or the identical integral in
+// bound mode (settled through the current cycle first — callers read
+// results at cycle boundaries).
 func (q *Queue) MeanOccupancy() float64 {
+	if q.occNow != nil {
+		q.settleTo(*q.occNow)
+	}
 	if q.samples == 0 {
 		return 0
 	}

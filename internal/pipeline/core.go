@@ -60,9 +60,14 @@ type threadState struct {
 	pendingInst  isa.Inst
 	pendingValid bool
 
+	// fetchQ is a ring: qHead + qLen index into it. The backing array is
+	// sized to a power of two so the ring arithmetic is a mask, not a
+	// division; qCap is the configured (logical) capacity.
 	fetchQ  []fetchEntry
-	qHead   int // fetchQ is a ring: qHead + qLen index into it
+	qHead   int
 	qLen    int
+	qCap    int
+	qMask   int
 	blocked int64 // cycle at which fetch may resume
 
 	lastBlock      uint64
@@ -77,7 +82,7 @@ type threadState struct {
 }
 
 //smt:hotpath
-func (ts *threadState) fetchQFull() bool { return ts.qLen == len(ts.fetchQ) }
+func (ts *threadState) fetchQFull() bool { return ts.qLen == ts.qCap }
 
 // fetchQPushSlot claims the next tail slot and returns it for in-place
 // filling: the caller must set every field (slots are not zeroed between
@@ -89,7 +94,7 @@ func (ts *threadState) fetchQPushSlot() *fetchEntry {
 	if ts.fetchQFull() {
 		panic("pipeline: fetch queue overflow")
 	}
-	e := &ts.fetchQ[(ts.qHead+ts.qLen)%len(ts.fetchQ)]
+	e := &ts.fetchQ[(ts.qHead+ts.qLen)&ts.qMask]
 	ts.qLen++
 	return e
 }
@@ -109,7 +114,7 @@ func (ts *threadState) fetchQPeek() *fetchEntry {
 func (ts *threadState) fetchQPop() {
 	// The vacated slot is left as-is (no pointers to release; the next
 	// push overwrites every field).
-	ts.qHead = (ts.qHead + 1) % len(ts.fetchQ)
+	ts.qHead = (ts.qHead + 1) & ts.qMask
 	ts.qLen--
 }
 
@@ -181,14 +186,41 @@ type Core struct {
 	lastCommitCycle    int64
 	onCommit           func(*uop.UOp)
 
+	// l1iLineMask caches ^(L1I line size - 1) so fetch does not re-read
+	// the cache configuration every cycle.
+	l1iLineMask uint64
+
 	// dispFrozen records that the dispatcher's last Run dispatched
 	// nothing and none of its inputs (buffers, readiness counters, IQ
 	// and DAB occupancy, ROB heads) changed since: the next dispatch
 	// cycle would rescan identical state to the identical outcome, so
 	// stepCycle replays its accounting instead (event-wakeup mode only;
 	// the polling path stays a plain per-cycle loop as the differential
-	// reference).
+	// reference). It is the dispatch stage's activity horizon.
 	dispFrozen bool
+
+	// Per-stage activity horizons (event-wakeup mode): the earliest cycle
+	// at which rename/fetch can possibly do work. A stage whose horizon
+	// lies in the future is skipped by the gated step, with only its
+	// round-robin rotation replayed. Horizons are conservative lower
+	// bounds — a stage may run and find nothing, never the reverse:
+	// rename recomputes its own on every run and every fetch-queue push
+	// lowers it; fetch recomputes its own on every run and the gate/
+	// redirect/flush/rename events that can re-enable an idle thread
+	// lower it. The remaining stages' horizons are intrinsic: writeback's
+	// is the event wheel's occupancy bit, commit's the commitable mask,
+	// issue's the ready-list and DAB occupancy, dispatch's dispFrozen.
+	renameHorizon int64
+	fetchHorizon  int64
+
+	// forcePlain routes stepCycle through the ungated stage walk even in
+	// event-wakeup mode; the horizon differential tests set it to produce
+	// the reference run.
+	forcePlain bool
+
+	// lastDue records the due-stage bitmask of the most recent gated (or
+	// verified) cycle, for tests and diagnostics.
+	lastDue stageMask
 
 	// commitable is a per-thread bitmask meaning "this thread's ROB head
 	// may be completed": writeback sets a thread's bit when it completes
@@ -245,6 +277,12 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 	if c.hier == nil {
 		c.hier = cache.DefaultHierarchy()
 	}
+	c.l1iLineMask = ^uint64(c.hier.L1I.Config().LineSize - 1)
+	// Both wakeup modes integrate IQ occupancy incrementally against the
+	// cycle counter (bit-identical to per-cycle sampling, so the
+	// event/polling differential holds), which removes the end-of-cycle
+	// Sample call from the cycle path.
+	c.q.BindCycleCounter(&c.cycle)
 	c.eventWakeup = !cfg.PollingWakeup
 	c.commitSkip = c.eventWakeup && n <= 64
 	if c.eventWakeup {
@@ -283,10 +321,18 @@ func New(cfg Config, specs []ThreadSpec) (*Core, error) {
 		c.robs = append(c.robs, rob.New(bank, int32(len(c.robs)*cfg.ROBPerThread), cfg.ROBPerThread))
 		c.lsqs = append(c.lsqs, lsq.New(bank, cfg.LSQPerThread))
 		c.preds = append(c.preds, bpred.New(c.btb))
+		// Ring backing sized to the next power of two so the index math
+		// is a mask; the logical capacity stays exactly as configured.
+		ringCap := 1
+		for ringCap < cfg.FetchQueueCap {
+			ringCap <<= 1
+		}
 		c.threads = append(c.threads, threadState{
 			name:   s.Name,
 			stream: s.Reader,
-			fetchQ: make([]fetchEntry, cfg.FetchQueueCap),
+			fetchQ: make([]fetchEntry, ringCap),
+			qCap:   cfg.FetchQueueCap,
+			qMask:  ringCap - 1,
 		})
 	}
 	c.commitBase = make([]uint64, n)
@@ -481,14 +527,124 @@ func (c *Core) Run(maxCommit uint64) (metrics.Results, error) {
 //smt:hotpath
 func (c *Core) Step() { c.stepCycle() }
 
+// stageMask is the due-stage bitmask the gated step builds as it walks
+// the pipeline: bit set = the stage's activity horizon has arrived and
+// the stage runs this cycle.
+type stageMask uint8
+
+const (
+	stageWriteback stageMask = 1 << iota
+	stageCommit
+	stageIssue
+	stageDispatch
+	stageRename
+	stageFetch
+)
+
 // stepCycle is Step, additionally reporting whether the cycle was
 // quiescent: no completion drained, nothing committed, issued,
 // dispatched or renamed, no watchdog flush, and no thread eligible to
 // fetch. Run uses a quiescent cycle as the fast-forward trigger (see
 // fastForward).
 //
+// Three bodies implement it. Event-wakeup mode steps through stepGated,
+// which consults the per-stage activity horizons and runs only the due
+// stages. The polling mode (and a forcePlain event core) steps through
+// stepPlain, the ungated reference walk. Any core with a sanitizer
+// attached steps through stepVerify, which is the plain walk plus a
+// cycle-for-cycle cross-check of every horizon predicate — so the whole
+// sanitized test suite differentially validates the gating, and a stale
+// horizon is caught within one cycle.
+//
 //smt:hotpath
 func (c *Core) stepCycle() bool {
+	if c.san != nil {
+		return c.stepVerify()
+	}
+	if c.eventWakeup && !c.forcePlain {
+		return c.stepGated()
+	}
+	return c.stepPlain()
+}
+
+// stepGated runs one cycle consulting the due-stage bitmask. Each
+// stage's due bit is evaluated immediately before the stage would run —
+// never earlier — because upstream stages feed the predicates within the
+// cycle: writeback sets commitable bits commit consumes, its broadcasts
+// grow the ready list issue consumes, and a watchdog flush rewrites the
+// front-end state rename and fetch consult. A skipped stage's only
+// replayed state is its round-robin rotation (commit, rename) or
+// selector tick (fetch); everything else it would have touched is
+// provably untouched by the horizon's contract.
+//
+//smt:hotpath
+func (c *Core) stepGated() bool {
+	c.cycle++
+	var due stageMask
+	popped := 0
+	if c.events.hasDue(c.cycle) {
+		due |= stageWriteback
+		popped = c.writeback()
+	}
+	committed := 0
+	if !c.commitSkip || c.commitable != 0 {
+		due |= stageCommit
+		committed = c.commit()
+	} else {
+		c.commitRR++
+		if c.commitRR == c.nthreads {
+			c.commitRR = 0
+		}
+	}
+	issued := 0
+	if c.disp.DAB().Len() != 0 || c.q.ReadyLen() != 0 {
+		due |= stageIssue
+		issued = c.issue()
+	}
+	dispatched := 0
+	if c.dispFrozen && popped == 0 && committed == 0 && issued == 0 {
+		c.disp.ReplayIdle(1)
+	} else {
+		due |= stageDispatch
+		dispatched = c.disp.Run(c.cycle, c.q, c.rf, c.robs)
+	}
+	fired := false
+	if c.wdog != nil && c.wdog.Tick(dispatched > 0) {
+		c.flushAll()
+		fired = true
+	}
+	renamed := 0
+	if c.renameHorizon <= c.cycle {
+		due |= stageRename
+		renamed = c.rename()
+	} else {
+		c.renameRR++
+		if c.renameRR == c.nthreads {
+			c.renameRR = 0
+		}
+	}
+	// The stages that feed dispatch and ran after it this cycle (flush,
+	// rename) unfreeze it; writeback/commit/issue run before dispatch
+	// next cycle and are checked there.
+	c.dispFrozen = dispatched == 0 && !fired && renamed == 0
+	fetchable := false
+	if c.fetchHorizon <= c.cycle {
+		due |= stageFetch
+		fetchable = c.fetch()
+	} else {
+		c.sel.SkipIdle(1)
+	}
+	c.lastDue = due
+	return popped == 0 && committed == 0 && issued == 0 && dispatched == 0 &&
+		!fired && renamed == 0 && !fetchable
+}
+
+// stepPlain is the ungated reference walk: every stage runs every cycle.
+// It is the polling mode's step and the horizon differential tests'
+// reference (forcePlain).
+//
+//smt:hotpath
+func (c *Core) stepPlain() bool {
 	c.cycle++
 	popped := c.writeback()
 	committed := c.commit()
@@ -505,17 +661,101 @@ func (c *Core) stepCycle() bool {
 		fired = true
 	}
 	renamed := c.rename()
-	// The stages that feed dispatch and ran after it this cycle (flush,
-	// rename) unfreeze it; writeback/commit/issue run before dispatch
-	// next cycle and are checked there.
 	c.dispFrozen = c.eventWakeup && dispatched == 0 && !fired && renamed == 0
 	fetchable := c.fetch()
-	c.q.Sample()
-	if c.san != nil {
-		c.sanitize()
-	}
 	return popped == 0 && committed == 0 && issued == 0 && dispatched == 0 &&
 		!fired && renamed == 0 && !fetchable
+}
+
+// stepVerify is the sanitizer's step: the plain walk, with every horizon
+// predicate evaluated at exactly the point stepGated would consult it
+// and cross-checked against the stage's actual behavior. A predicate
+// that says "idle" while the stage performs work is a stale horizon —
+// the gated step would have skipped real work — and is reported through
+// the sanitizer error channel the same cycle. State evolution is
+// bit-identical to both stepGated and stepPlain (skipped-stage rotation
+// replays match what the stages do when idle), so sanitized runs remain
+// valid differential references.
+//
+//smt:coldpath — diagnostic walk: runs only with a sanitizer attached, never in measured configurations
+func (c *Core) stepVerify() bool {
+	c.cycle++
+	gated := c.eventWakeup && !c.forcePlain
+	var due stageMask
+	dueWB := !gated || c.events.hasDue(c.cycle)
+	popped := c.writeback()
+	if !dueWB && popped != 0 {
+		c.horizonFail("writeback", popped)
+	}
+	dueCm := !gated || !c.commitSkip || c.commitable != 0
+	committed := c.commit()
+	if !dueCm && committed != 0 {
+		c.horizonFail("commit", committed)
+	}
+	dueIs := !gated || c.disp.DAB().Len() != 0 || c.q.ReadyLen() != 0
+	issued := c.issue()
+	if !dueIs && issued != 0 {
+		c.horizonFail("issue", issued)
+	}
+	if dueWB {
+		due |= stageWriteback
+	}
+	if dueCm {
+		due |= stageCommit
+	}
+	if dueIs {
+		due |= stageIssue
+	}
+	dispatched := 0
+	if c.dispFrozen && popped == 0 && committed == 0 && issued == 0 {
+		c.disp.ReplayIdle(1)
+	} else {
+		dispatched = c.disp.Run(c.cycle, c.q, c.rf, c.robs)
+	}
+	fired := false
+	if c.wdog != nil && c.wdog.Tick(dispatched > 0) {
+		c.flushAll()
+		fired = true
+	}
+	dueRn := !gated || c.renameHorizon <= c.cycle
+	renamed := c.rename()
+	if !dueRn && renamed != 0 {
+		c.horizonFail("rename", renamed)
+	}
+	c.dispFrozen = c.eventWakeup && dispatched == 0 && !fired && renamed == 0
+	dueFt := !gated || c.fetchHorizon <= c.cycle
+	fetchable := c.fetch()
+	if !dueFt && fetchable {
+		c.horizonFail("fetch", 1)
+	}
+	if dispatched > 0 || !c.dispFrozen {
+		due |= stageDispatch
+	}
+	if dueRn {
+		due |= stageRename
+	}
+	if dueFt {
+		due |= stageFetch
+	}
+	c.lastDue = due
+	c.sanitize()
+	return popped == 0 && committed == 0 && issued == 0 && dispatched == 0 &&
+		!fired && renamed == 0 && !fetchable
+}
+
+// horizonFail reports a stale stage horizon: the gated step would have
+// skipped a stage that had real work.
+//
+//smt:coldpath — fires only on a detected horizon violation under the sanitizer
+func (c *Core) horizonFail(stage string, work int) {
+	err := fmt.Errorf("pipeline: cycle %d: stale %s horizon: stage gated idle but performed %d units of work",
+		c.cycle, stage, work)
+	if c.sanErr == nil {
+		c.sanErr = err
+	}
+	if c.sanPanic {
+		panic(err)
+	}
 }
 
 // fastForward runs after a quiescent cycle: with no due completions, an
@@ -569,7 +809,6 @@ func (c *Core) fastForward(limit int64) {
 		return
 	}
 	c.cycle += k
-	c.q.SampleIdle(k)
 	c.disp.ReplayIdle(k)
 	if c.wdog != nil {
 		c.wdog.SkipIdle(k)
@@ -613,7 +852,11 @@ func (c *Core) writeback() int {
 		if u.IsBranch() && u.Mispred {
 			// Resolution: the front end may refetch down the correct
 			// path after the redirect penalty.
-			c.threads[u.Thread].blocked = c.cycle + c.cfg.RedirectPenalty
+			b := c.cycle + c.cfg.RedirectPenalty
+			c.threads[u.Thread].blocked = b
+			if b < c.fetchHorizon {
+				c.fetchHorizon = b
+			}
 		}
 	}
 	return popped
@@ -627,10 +870,15 @@ func (c *Core) writeback() int {
 func (c *Core) commit() int {
 	committed := 0
 	budget := c.cfg.Width
-	start := c.commitRR
-	c.commitRR = (c.commitRR + 1) % c.nthreads
-	for i := 0; i < c.nthreads && budget > 0; i++ {
-		t := (start + i) % c.nthreads
+	t := c.commitRR
+	c.commitRR++
+	if c.commitRR == c.nthreads {
+		c.commitRR = 0
+	}
+	for i := 0; i < c.nthreads && budget > 0; i, t = i+1, t+1 {
+		if t >= c.nthreads {
+			t = 0
+		}
 		if c.commitSkip && c.commitable&(1<<uint(t)) == 0 {
 			continue
 		}
@@ -762,24 +1010,53 @@ func (c *Core) issueUOp(u *uop.UOp, fromIQ bool, ld lsq.LoadDisposition) {
 func (c *Core) rename() int {
 	renamed := 0
 	budget := c.cfg.Width
-	start := c.renameRR
-	c.renameRR = (c.renameRR + 1) % c.nthreads
-	for i := 0; i < c.nthreads && budget > 0; i++ {
-		t := (start + i) % c.nthreads
+	// nextH re-derives the stage's activity horizon as the scan goes: the
+	// earliest head readyAt among waiting threads, or "next cycle" as
+	// soon as any thread is consumable-but-blocked (downstream space can
+	// free at any cycle) or the budget runs out. A thread with an empty
+	// fetch queue contributes nothing — the push that refills it lowers
+	// the horizon (see fetchThread).
+	nextH := int64(farFuture)
+	t := c.renameRR
+	c.renameRR++
+	if c.renameRR == c.nthreads {
+		c.renameRR = 0
+	}
+	for i := 0; i < c.nthreads; i, t = i+1, t+1 {
+		if budget == 0 {
+			nextH = c.cycle + 1
+			break
+		}
+		if t >= c.nthreads {
+			t = 0
+		}
 		ts := &c.threads[t]
-		for budget > 0 {
+		for {
 			e := ts.fetchQPeek()
-			if e == nil || e.readyAt > c.cycle {
+			if e == nil {
+				break
+			}
+			if e.readyAt > c.cycle {
+				if e.readyAt < nextH {
+					nextH = e.readyAt
+				}
+				break
+			}
+			if budget == 0 {
+				nextH = c.cycle + 1
 				break
 			}
 			if !c.disp.Buffer(t).CanPush() || !c.robs[t].CanAlloc(1) {
+				nextH = c.cycle + 1
 				break
 			}
 			isMem := e.inst.Class.IsMem()
 			if isMem && !c.lsqs[t].CanAlloc(1) {
+				nextH = c.cycle + 1
 				break
 			}
 			if e.inst.HasDest() && !c.rf.CanAlloc(e.inst.Dest.Class, 1) {
+				nextH = c.cycle + 1
 				break
 			}
 			// The ROB slot is the uop's identity: allocating the entry
@@ -816,6 +1093,12 @@ func (c *Core) rename() int {
 			renamed++
 		}
 	}
+	c.renameHorizon = nextH
+	if renamed > 0 {
+		// Freed fetch-queue slots may re-enable a queue-full thread's
+		// fetch this very cycle (fetch runs after rename).
+		c.fetchHorizon = c.cycle
+	}
 	return renamed
 }
 
@@ -841,13 +1124,38 @@ func (c *Core) fetch() bool {
 		budget -= c.fetchThread(t, budget)
 		threadsUsed++
 	}
+	c.recomputeFetchHorizon(active)
 	return active
+}
+
+// recomputeFetchHorizon re-derives the fetch stage's activity horizon
+// after a fetch pass. An active pass always mutates state, so the stage
+// must run again next cycle. An idle pass means every thread was
+// blocked, queue-full, or fetch-gated: the blocked expiries bound the
+// horizon directly; queue-full and gate-blocked threads contribute
+// nothing because the events that release them lower fetchHorizon at
+// the source (rename pops a slot; noteLoadDone relaxes the gate;
+// mispredict resolution and flush recovery reset blocked).
+//
+//smt:hotpath
+func (c *Core) recomputeFetchHorizon(active bool) {
+	if active {
+		c.fetchHorizon = c.cycle + 1
+		return
+	}
+	nextH := int64(farFuture)
+	for t := range c.threads {
+		if b := c.threads[t].blocked; b > c.cycle && b < nextH {
+			nextH = b
+		}
+	}
+	c.fetchHorizon = nextH
 }
 
 //smt:hotpath
 func (c *Core) fetchThread(t, budget int) int {
 	ts := &c.threads[t]
-	lineMask := ^uint64(c.hier.L1I.Config().LineSize - 1)
+	lineMask := c.l1iLineMask
 	n := 0
 	for n < budget {
 		if ts.fetchQFull() {
@@ -872,6 +1180,11 @@ func (c *Core) fetchThread(t, budget int) int {
 		e := ts.fetchQPushSlot()
 		e.inst = in
 		e.readyAt = c.cycle + c.cfg.FrontEndDelay
+		if e.readyAt < c.renameHorizon {
+			// A refilled fetch queue re-arms the rename stage once the
+			// front-end delay elapses.
+			c.renameHorizon = e.readyAt
+		}
 		e.predTaken, e.predTarget, e.mispred = false, 0, false
 		if in.Class == isa.Branch {
 			pt, ptg := c.preds[t].Predict(in.PC)
@@ -931,6 +1244,9 @@ func (c *Core) flushAll() {
 		ts.replay = append(insts, ts.replay...)
 		ts.blocked = c.cycle + c.cfg.FlushRefill
 		ts.lastBlockValid = false
+	}
+	if b := c.cycle + c.cfg.FlushRefill; b < c.fetchHorizon {
+		c.fetchHorizon = b
 	}
 }
 

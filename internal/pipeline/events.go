@@ -36,6 +36,11 @@ type eventWheel struct {
 // configured latencies are handled by growth on first use.
 const defaultEventHorizon = 256
 
+// slotCap is each wheel slot's pre-sized capacity: enough for the
+// completions an 8-wide machine typically lands on one cycle, with
+// headroom so steady-state bursts stay within the carve.
+const slotCap = 8
+
 // newEventWheel builds a wheel of at least `horizon` slots (rounded up
 // to a power of two).
 func newEventWheel(horizon int) eventWheel {
@@ -44,10 +49,14 @@ func newEventWheel(horizon int) eventWheel {
 		n <<= 1
 	}
 	slots := make([][]completion, n)
+	// Pre-size each slot for a typical cycle's completions so the steady
+	// state rarely grows a slot's backing array, carving all slots from
+	// one flat allocation. A slot that does outgrow its carve appends
+	// into a fresh array (the three-index cap prevents aliasing).
+	backing := make([]completion, n*slotCap)
 	for i := range slots {
-		// Pre-size each slot for a typical cycle's completions so the
-		// steady state never grows a slot's backing array.
-		slots[i] = make([]completion, 0, 8)
+		j := i * slotCap
+		slots[i] = backing[j:j : j+slotCap]
 	}
 	return eventWheel{
 		slots: slots,
@@ -81,6 +90,11 @@ func (w *eventWheel) grow(need int64) {
 	slots := make([][]completion, n)
 	occ := make([]uint64, (n+63)/64)
 	mask := int64(n - 1)
+	backing := make([]completion, n*slotCap)
+	for i := range slots {
+		j := i * slotCap
+		slots[i] = backing[j:j : j+slotCap]
+	}
 	for _, b := range w.slots {
 		for _, c := range b {
 			s := c.at & mask
@@ -117,6 +131,17 @@ func (w *eventWheel) popDue(cycle int64) (id int32, seq uint64, ok bool) {
 		panic("pipeline: event wheel slot collision (latency exceeds horizon)")
 	}
 	return c.id, c.seq, true
+}
+
+// hasDue reports in O(1) whether any completion is due at exactly
+// `cycle` — the writeback stage's activity horizon: pending completions
+// are never in the past (writeback drains each cycle's slot when that
+// cycle executes), so the slot's occupancy bit is the answer.
+//
+//smt:hotpath
+func (w *eventWheel) hasDue(cycle int64) bool {
+	s := cycle & w.mask
+	return w.occ[s>>6]>>(uint(s)&63)&1 != 0
 }
 
 // nextDue returns the due cycle of the earliest pending completion

@@ -110,6 +110,11 @@ func (c *Core) noteLoadDone(u *uop.UOp) {
 	if ts.gateLoad == u {
 		ts.gateLoad = nil
 	}
+	if c.cfg.FetchGate != GateNone {
+		// A completed miss may relax the fetch gate; writeback runs
+		// ahead of fetch in the cycle, so the stage is due immediately.
+		c.fetchHorizon = c.cycle
+	}
 }
 
 // forgetLoad is noteLoadDone for squashed loads that will never complete
@@ -175,5 +180,8 @@ func (c *Core) flushThreadAfter(pivot *uop.UOp) {
 	ts.lastBlockValid = false
 	if releaseBranchBlock {
 		ts.blocked = c.cycle + c.cfg.FlushRefill
+		if ts.blocked < c.fetchHorizon {
+			c.fetchHorizon = ts.blocked
+		}
 	}
 }

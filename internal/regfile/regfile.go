@@ -185,12 +185,17 @@ func (f *File) Free(p PhysRef) {
 	// with the in-flight instructions that registered them.
 	if f.words != 0 {
 		base := int(p.Index) * f.words
-		for w := int(fl.watchLo[p.Index]); w <= int(fl.watchHi[p.Index]); w++ {
-			fl.cons[base+w] = 0
-			fl.dup[base+w] = 0
+		if lo, hi := int(fl.watchLo[p.Index]), int(fl.watchHi[p.Index]); hi >= lo {
+			cons := fl.cons[base+lo : base+hi+1]
+			dup := fl.dup[base+lo : base+hi+1]
+			dup = dup[:len(cons)]
+			for w := range cons {
+				cons[w] = 0
+				dup[w] = 0
+			}
+			fl.watchLo[p.Index] = int16(f.words)
+			fl.watchHi[p.Index] = -1
 		}
-		fl.watchLo[p.Index] = int16(f.words)
-		fl.watchHi[p.Index] = -1
 	}
 }
 
@@ -291,24 +296,32 @@ func (f *File) SetReady(p PhysRef) {
 	}
 	base := int(p.Index) * f.words
 	lo, hi := int(fl.watchLo[p.Index]), int(fl.watchHi[p.Index])
+	if hi < lo {
+		return // empty watch range; lo/hi are already the reset state
+	}
 	fl.watchLo[p.Index] = int16(f.words)
 	fl.watchHi[p.Index] = -1
-	for w := lo; w <= hi; w++ {
-		m := fl.cons[base+w]
+	// One subslice per bitmap bounds the walk so the word loop indexes
+	// check-free (dup re-sliced to cons's length for the same reason).
+	cons := fl.cons[base+lo : base+hi+1]
+	dup := fl.dup[base+lo : base+hi+1]
+	dup = dup[:len(cons)]
+	nr := f.notReady
+	for w, m := range cons {
 		if m == 0 {
 			continue
 		}
-		d := fl.dup[base+w]
-		fl.cons[base+w] = 0
-		fl.dup[base+w] = 0
-		idBase := int32(w) << 6
+		d := dup[w]
+		cons[w] = 0
+		dup[w] = 0
+		idBase := int32(lo+w) << 6
 		for m != 0 {
 			b := uint(bits.TrailingZeros64(m))
 			m &^= 1 << b
 			id := idBase + int32(b)
 			dec := int8(1) + int8((d>>b)&1)
-			f.notReady[id] -= dec
-			if f.notReady[id] == 0 {
+			nr[id] -= dec
+			if nr[id] == 0 {
 				f.onZero(id)
 			}
 		}
